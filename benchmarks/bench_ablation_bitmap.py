@@ -1,0 +1,46 @@
+"""Ablation: partial-virtual-bitmap compression (Fig. 5) vs full bitmap.
+
+Measures both the encoding cost and the on-air beacon bytes saved — the
+justification for the paper's Offset + partial-bitmap BTIM layout.
+"""
+
+from repro.dot11 import pvb
+from repro.dot11.elements.btim import BtimElement
+
+
+def sparse_aids(count=5, base=40):
+    return frozenset(base + 3 * i for i in range(count))
+
+
+def test_compressed_btim_encoding(benchmark):
+    element = BtimElement(sparse_aids())
+    encoded = benchmark(element.payload_bytes)
+    # A handful of mid-range AIDs: a few octets instead of 251.
+    assert len(encoded) < 20
+
+
+def test_full_bitmap_encoding_baseline(benchmark):
+    aids = sparse_aids()
+
+    def encode_full():
+        return bytes(pvb.build_virtual_bitmap(aids))
+
+    encoded = benchmark(encode_full)
+    assert len(encoded) == pvb.FULL_BITMAP_OCTETS
+
+
+def test_compression_saves_beacon_bytes(benchmark, record_result):
+    def measure():
+        rows = []
+        for count in (1, 5, 20, 100):
+            aids = frozenset(range(10, 10 + count))
+            compressed = len(BtimElement(aids).payload_bytes())
+            rows.append(
+                f"{count:4d} flagged AIDs: {compressed:3d} B compressed "
+                f"vs {pvb.FULL_BITMAP_OCTETS} B full bitmap"
+            )
+            assert compressed < pvb.FULL_BITMAP_OCTETS
+        return rows
+
+    rows = benchmark(measure)
+    record_result("ablation_bitmap", "\n".join(rows))

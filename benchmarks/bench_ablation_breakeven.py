@@ -1,0 +1,49 @@
+"""Ablation: the useful-fraction break-even point of HIDE.
+
+Bisects for the fraction where HIDE stops saving energy versus
+receive-all, per trace. The operating rule of thumb this produces: on
+every evaluated trace the crossover (if it exists at all) sits far
+above the 2-10 % regime real broadcast traffic lives in.
+"""
+
+from repro.analysis.breakeven import find_breakeven
+from repro.energy.profile import NEXUS_ONE
+from repro.reporting import render_table
+
+
+def test_breakeven_fractions(benchmark, context, record_result):
+    def sweep():
+        results = []
+        for scenario in context.scenarios:
+            trace = context.trace(scenario)
+            results.append(find_breakeven(trace, NEXUS_ONE, tolerance=0.03))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            r.trace_name,
+            (
+                f"{r.breakeven_fraction:.0%}"
+                if r.breakeven_fraction is not None
+                else f"none (< {r.search_ceiling:.0%})"
+            ),
+            f"{r.saving_at_10pct:.0%}",
+            f"{r.saving_at_2pct:.0%}",
+        ]
+        for r in results
+    ]
+    record_result(
+        "ablation_breakeven",
+        render_table(
+            ["trace", "break-even fraction", "saving @10%", "saving @2%"],
+            rows,
+            title="Where HIDE stops paying off (Nexus One, original mode)",
+        ),
+    )
+    for r in results:
+        # The paper's regime is always safely below the crossover.
+        if r.breakeven_fraction is not None:
+            assert r.breakeven_fraction > 0.12
+        assert r.saving_at_10pct > 0.15
+        assert r.saving_at_2pct > r.saving_at_10pct

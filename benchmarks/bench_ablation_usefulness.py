@@ -1,0 +1,80 @@
+"""Ablation: port-subset (protocol-realistic) vs clustered frame marking.
+
+The figures mark "x% of frames useful" directly (as the paper's sweep
+does). In the real protocol, usefulness is *port-level*: a frame is
+useful iff its destination UDP port is open on the client. This bench
+evaluates HIDE both ways at matched achieved fractions.
+
+Finding: port-level usefulness saves LESS than the frame-level sweep at
+the same fraction (e.g. ~16% vs ~30% on the Classroom trace). The
+greedily selected ports are steady background services whose frames
+appear in nearly every DTIM burst, so the client's BTIM bit is set for
+most bursts even though only ~10% of frames are its own. The paper's
+"x% of frames useful" framing is therefore the optimistic end; the
+savings a real client sees depend on *which* service it listens to —
+a bursty service (rare announcements) tracks the frame-level numbers,
+a chatty one (NetBIOS-like) erodes them.
+"""
+
+from repro.energy import NEXUS_ONE
+from repro.reporting import render_table
+from repro.solutions import HideSolution, ReceiveAllSolution
+from repro.traces.usefulness import (
+    clustered_fraction_mask,
+    port_subset_mask,
+    ports_for_target_fraction,
+)
+
+
+def evaluate(context):
+    rows = []
+    for scenario in context.scenarios:
+        trace = context.trace(scenario)
+        ports = ports_for_target_fraction(trace, 0.10)
+        port_mask = port_subset_mask(trace, ports, target_fraction=0.10)
+        frame_mask = clustered_fraction_mask(
+            trace, port_mask.achieved_fraction, seed=42
+        )
+        baseline = ReceiveAllSolution().evaluate(trace, frame_mask, NEXUS_ONE)
+        by_port = HideSolution().evaluate(trace, port_mask, NEXUS_ONE)
+        by_frame = HideSolution().evaluate(trace, frame_mask, NEXUS_ONE)
+        rows.append(
+            (
+                scenario.name,
+                sorted(ports),
+                port_mask.achieved_fraction,
+                by_port.savings_vs(baseline),
+                by_frame.savings_vs(baseline),
+            )
+        )
+    return rows
+
+
+def test_port_level_vs_frame_level_usefulness(benchmark, context, record_result):
+    rows = benchmark.pedantic(evaluate, args=(context,), rounds=1, iterations=1)
+    record_result(
+        "ablation_usefulness",
+        render_table(
+            ["trace", "achieved fraction", "saving (port-level)",
+             "saving (frame-level)"],
+            [
+                [name, f"{fraction:.1%}", f"{port_saving:.1%}",
+                 f"{frame_saving:.1%}"]
+                for name, _ports, fraction, port_saving, frame_saving in rows
+            ],
+            title=(
+                "Usefulness granularity @ ~10% useful (Nexus One): "
+                "open-port subsets vs clustered frame marking"
+            ),
+        ),
+    )
+    for name, ports, fraction, port_saving, frame_saving in rows:
+        # The greedy subset got within a few points of the target.
+        assert abs(fraction - 0.10) < 0.06, name
+        # Both framings save real energy...
+        assert port_saving > 0.10, name
+        assert frame_saving > 0.15, name
+        # ...but steady-service port-level usefulness never saves MORE
+        # than the frame-level sweep: its frames ride along in most
+        # bursts, keeping the BTIM bit set (see module docstring).
+        assert port_saving <= frame_saving + 0.05, name

@@ -1,0 +1,18 @@
+"""Extension: fleet energy vs HIDE adoption, measured in the DES."""
+
+from repro.experiments import adoption
+
+
+def test_adoption_sweep(benchmark, record_result):
+    result = benchmark.pedantic(adoption.compute, rounds=1, iterations=1)
+    record_result("adoption", adoption.render(result))
+
+    points = result.points
+    # Fleet power decreases monotonically with adoption...
+    powers = [p.mean_power_mw for p in points]
+    assert powers == sorted(powers, reverse=True)
+    # ...full adoption at least halves the fleet's broadcast power...
+    assert points[-1].mean_power_mw < 0.55 * points[0].mean_power_mw
+    # ...and non-adopters are never penalized.
+    legacy = [p.mean_legacy_power_mw for p in points if p.mean_legacy_power_mw]
+    assert max(legacy) - min(legacy) < 1e-6

@@ -1,0 +1,101 @@
+"""Microbenchmarks of the hot paths: port table, Algorithm 1, the
+closed-form model, and the DES event loop."""
+
+from repro.ap.flags import compute_broadcast_flags
+from repro.ap.port_table import ClientUdpPortTable
+from repro.dot11.data import DataFrame
+from repro.dot11.mac_address import MacAddress
+from repro.energy import EnergyModel, NEXUS_ONE
+from repro.energy.dynamics import FrameEvent
+from repro.net.packet import build_broadcast_udp_packet
+from repro.sim.engine import Simulator
+from repro.units import mbps
+
+BSSID = MacAddress.from_string("02:aa:00:00:00:01")
+SRC = MacAddress.from_string("02:bb:00:00:00:99")
+
+
+def test_port_table_refresh(benchmark):
+    """One UDP Port Message worth of table maintenance (50 ports)."""
+    table = ClientUdpPortTable()
+    for aid in range(1, 26):
+        table.update_client(aid, set(range(1000 + aid * 60, 1050 + aid * 60)))
+    ports_a = set(range(40000, 40050))
+    ports_b = set(range(41000, 41050))
+    state = {"flip": False}
+
+    def refresh():
+        state["flip"] = not state["flip"]
+        table.update_client(99, ports_a if state["flip"] else ports_b)
+
+    benchmark(refresh)
+
+
+def test_algorithm1_flag_computation(benchmark):
+    """Algorithm 1 over 10 buffered frames (the paper's n_f)."""
+    table = ClientUdpPortTable()
+    for aid in range(1, 26):
+        table.update_client(aid, {5353, 1900} if aid % 3 == 0 else {137})
+    frames = [
+        DataFrame.broadcast_udp(
+            bssid=BSSID,
+            source=SRC,
+            ip_packet=build_broadcast_udp_packet((137, 5353, 1900)[i % 3], b"x" * 150),
+        )
+        for i in range(10)
+    ]
+    flags = benchmark(compute_broadcast_flags, frames, table)
+    assert flags
+
+
+def test_energy_model_throughput(benchmark):
+    """Closed-form evaluation of a 1000-frame trace."""
+    events = [
+        FrameEvent(
+            time=0.05 * i, length_bytes=200, rate_bps=mbps(1),
+            useful=i % 10 == 0, more_data=False,
+        )
+        for i in range(1000)
+    ]
+    model = EnergyModel(NEXUS_ONE)
+    breakdown = benchmark(model.evaluate, events, 60.0)
+    assert breakdown.total_j > 0
+
+
+def test_des_event_loop(benchmark):
+    """Raw event-loop throughput: 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 10_000
+
+
+def test_beacon_serialization(benchmark):
+    """Byte-level beacon build+parse round trip."""
+    from repro.dot11.elements.btim import BtimElement
+    from repro.dot11.elements.tim import TimElement
+    from repro.dot11.management import Beacon
+
+    beacon = Beacon(
+        bssid=BSSID,
+        timestamp_us=1234,
+        beacon_interval_tu=100,
+        tim=TimElement(0, 1, True, frozenset({1, 2, 3})),
+        btim=BtimElement(frozenset({2, 3, 17})),
+    )
+
+    def round_trip():
+        return Beacon.from_bytes(beacon.to_bytes())
+
+    assert benchmark(round_trip) == beacon

@@ -1,0 +1,21 @@
+"""Figure 10: network capacity decrease vs HIDE deployment share."""
+
+from repro.experiments import figure10
+
+
+def test_figure10_capacity_decrease(benchmark, record_result):
+    result = benchmark(figure10.compute)
+    record_result("figure10", figure10.render(result))
+
+    # Paper headline: 0.13% at 50 nodes, p = 75%.
+    worst = result.decreases[0.75][-1]
+    assert 0.0010 <= worst <= 0.0016
+
+    # All curves under the paper's 0.5% axis; monotone in N and p.
+    for fraction in result.hide_fractions:
+        series = result.decreases[fraction]
+        assert all(d < 0.005 for d in series)
+        assert list(series) == sorted(series)
+    for index in range(len(result.station_counts)):
+        column = [result.decreases[p][index] for p in result.hide_fractions]
+        assert column == sorted(column)

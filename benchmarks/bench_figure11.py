@@ -1,0 +1,24 @@
+"""Figure 11: RTT increase vs UDP Port Message sending interval."""
+
+import pytest
+
+from repro.experiments import figure11
+
+
+def test_figure11_delay_vs_interval(benchmark, record_result):
+    result = benchmark(figure11.compute)
+    record_result("figure11", figure11.render(result))
+
+    # Paper: 2.3% at 1/f = 10 s with 50 nodes; 0.05%-order at 10 min.
+    assert max(result.increases[10.0]) == pytest.approx(0.023, abs=0.001)
+    assert max(result.increases[600.0]) < 0.002
+
+    # More nodes -> more delay; faster reporting -> more delay.
+    for interval in result.intervals_s:
+        series = result.increases[interval]
+        assert list(series) == sorted(series)
+    for index in range(len(result.station_counts)):
+        by_interval = [
+            result.increases[i][index] for i in sorted(result.intervals_s)
+        ]
+        assert by_interval == sorted(by_interval, reverse=True)

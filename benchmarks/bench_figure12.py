@@ -1,0 +1,19 @@
+"""Figure 12: RTT increase vs number of open UDP ports per client."""
+
+import pytest
+
+from repro.experiments import figure12
+
+
+def test_figure12_delay_vs_open_ports(benchmark, record_result):
+    result = benchmark(figure12.compute)
+    record_result("figure12", figure12.render(result))
+
+    # Paper: < 1.6% with 100 open ports per client (1/f = 30 s).
+    assert max(result.increases[100]) < 0.016
+    assert max(result.increases[100]) > 0.010  # same order as the paper
+
+    # More open ports -> more delay.
+    for index in range(len(result.station_counts)):
+        by_ports = [result.increases[p][index] for p in sorted(result.port_counts)]
+        assert by_ports == sorted(by_ports)

@@ -1,0 +1,19 @@
+"""Figure 6: broadcast traffic volume CDFs of the five scenario traces."""
+
+from repro.experiments import figure6
+
+
+def test_figure6_trace_cdfs(benchmark, context, record_result):
+    result = benchmark.pedantic(
+        figure6.compute, args=(context,), rounds=1, iterations=1
+    )
+    text = figure6.render(result)
+    record_result("figure6", text)
+
+    # Shape: trace volume ordering matches the paper's Figure 6.
+    means = result.means
+    assert means["WML"] > means["Classroom"] > means["CS_Dept"]
+    assert means["CS_Dept"] > means["Starbucks"] > means["WRL"]
+    # Heavy traces average north of 10 frames/s; light ones near 1.
+    assert means["WML"] > 10
+    assert means["WRL"] < 3

@@ -1,0 +1,12 @@
+"""The paper's headline claims, end to end."""
+
+from repro.experiments import headline
+
+
+def test_headline_claims(benchmark, context, record_result):
+    result = benchmark.pedantic(
+        headline.compute, args=(context,), rounds=1, iterations=1
+    )
+    record_result("headline", headline.render(result))
+    failing = [claim.name for claim in result.claims if not claim.matches]
+    assert result.all_match, f"claims outside tolerance: {failing}"

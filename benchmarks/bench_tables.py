@@ -1,0 +1,16 @@
+"""Tables I and II: render the model inputs (trivially fast; benched so
+every paper artifact has a regeneration target)."""
+
+from repro.experiments import table1, table2
+
+
+def test_table1_device_profiles(benchmark, record_result):
+    text = benchmark(table1.render)
+    record_result("table1", text)
+    assert "Nexus One" in text and "Galaxy S4" in text
+
+
+def test_table2_network_config(benchmark, record_result):
+    text = benchmark(table2.render)
+    record_result("table2", text)
+    assert "11 Mbits/s" in text

@@ -1,0 +1,13 @@
+"""Extension: DES vs closed-form agreement on a shared schedule."""
+
+from repro.experiments import validation
+
+
+def test_des_model_agreement(benchmark, record_result):
+    result = benchmark.pedantic(
+        validation.compute, kwargs={"duration_s": 60.0}, rounds=1, iterations=1
+    )
+    record_result("validation", validation.render(result))
+    assert result.max_relative_error("resumes") == 0.0
+    assert result.max_relative_error("wakelock_s") < 0.02
+    assert result.max_relative_error("suspend_fraction") < 0.02

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+The energy benchmarks share one :class:`EvaluationContext` per session
+so the five scenario traces are generated exactly once. Every benchmark
+also appends its rendered table/figure to ``benchmarks/results/`` so the
+regenerated paper artifacts are inspectable after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.context import EvaluationContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context() -> EvaluationContext:
+    return EvaluationContext()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write a rendered experiment to benchmarks/results/<name>.txt."""
+
+    def write(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return write

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""AP capacity planning: is HIDE's overhead acceptable on your network?
+
+An operator deciding whether to enable HIDE needs two numbers: how much
+network capacity the UDP Port Messages consume, and how much the AP's
+table maintenance stretches round-trip times. This example sweeps the
+knobs that matter — fleet size, HIDE adoption, report interval, and
+open-port count — using the paper's Section V models.
+
+Run:  python examples/ap_capacity_planning.py
+"""
+
+from repro.analysis import BianchiModel, CapacityAnalysis, DelayAnalysis
+from repro.reporting import render_table
+
+
+def main() -> None:
+    bianchi = BianchiModel()
+    capacity = CapacityAnalysis()
+    delay = DelayAnalysis()
+
+    print("Baseline 802.11b capacity (Bianchi saturation throughput):")
+    for stations in (5, 20, 50):
+        result = bianchi.evaluate(stations)
+        print(
+            f"  {stations:>3} stations: {result.throughput_bps / 1e6:.2f} Mb/s "
+            f"(channel efficiency {result.throughput_fraction:.0%}, "
+            f"collision prob {result.collision_probability:.0%})"
+        )
+    print()
+
+    rows = []
+    for adoption in (0.25, 0.50, 0.75, 1.00):
+        for interval in (10.0, 60.0):
+            cap = capacity.evaluate(
+                50, adoption, port_message_interval_s=interval, ports_per_message=50
+            )
+            dly = delay.evaluate(
+                50, adoption, port_message_interval_s=interval,
+                open_ports_per_client=50,
+            )
+            rows.append(
+                [
+                    f"{adoption:.0%}",
+                    f"{interval:.0f}s",
+                    f"{cap.capacity_decrease * 100:.3f}%",
+                    f"{dly.delay_increase * 100:.2f}%",
+                ]
+            )
+    print(
+        render_table(
+            ["HIDE adoption", "report every", "capacity cost", "RTT cost"],
+            rows,
+            title="Overheads on a 50-station BSS (50 open ports per phone)",
+        )
+    )
+
+    print()
+    rows = []
+    for ports in (10, 50, 100, 200):
+        dly = delay.evaluate(
+            50, 0.5, port_message_interval_s=30.0, open_ports_per_client=ports
+        )
+        rows.append([str(ports), f"{dly.delay_increase * 100:.2f}%"])
+    print(
+        render_table(
+            ["open UDP ports/phone", "RTT cost"],
+            rows,
+            title="Sensitivity to port-hungry phones (report every 30 s)",
+        )
+    )
+
+    sane_cap = capacity.evaluate(50, 1.0, 60.0, 100).capacity_decrease
+    sane_delay = delay.evaluate(50, 1.0, 60.0, 100).delay_increase
+    worst_delay = delay.evaluate(50, 1.0, 10.0, 200).delay_increase
+    print(
+        f"\nAt a sane operating point (full adoption, 60 s reports, 100 "
+        f"ports) HIDE costs {sane_cap:.2%} capacity and {sane_delay:.1%} "
+        f"RTT — negligible. The knob to watch is report frequency: "
+        f"aggressive 10 s reports from port-hungry phones (200 ports) "
+        f"would stretch RTTs by {worst_delay:.0%}, so cap the report rate "
+        "on dense networks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Campus energy audit: what would deploying HIDE buy, building by building?
+
+Sweeps all five paper scenarios on both Table I devices, at 10 % and
+2 % useful broadcast traffic, and translates the savings into standby
+battery-life terms (how long the broadcast-handling energy alone would
+take to drain a battery).
+
+Run:  python examples/campus_energy_audit.py     (takes ~30 s)
+"""
+
+from repro import (
+    GALAXY_S4,
+    HideSolution,
+    NEXUS_ONE,
+    PAPER_SCENARIOS,
+    ReceiveAllSolution,
+    clustered_fraction_mask,
+    generate_trace,
+)
+from repro.energy.battery import GALAXY_S4_BATTERY, NEXUS_ONE_BATTERY
+from repro.reporting import render_table
+
+BATTERIES = {"Nexus One": NEXUS_ONE_BATTERY, "Galaxy S4": GALAXY_S4_BATTERY}
+
+
+def drain_days(battery, power_w: float) -> float:
+    """Days to drain the battery at this average power draw."""
+    return battery.drain_hours(power_w) / 24.0
+
+
+def main() -> None:
+    print("Generating the five scenario traces...\n")
+    traces = {spec.name: generate_trace(spec) for spec in PAPER_SCENARIOS}
+
+    for device in (NEXUS_ONE, GALAXY_S4):
+        battery = BATTERIES[device.name]
+        rows = []
+        for name, trace in traces.items():
+            mask10 = clustered_fraction_mask(trace, 0.10)
+            mask2 = clustered_fraction_mask(trace, 0.02)
+            baseline = ReceiveAllSolution().evaluate(trace, mask10, device)
+            hide10 = HideSolution().evaluate(trace, mask10, device)
+            hide2 = HideSolution().evaluate(trace, mask2, device)
+            rows.append(
+                [
+                    name,
+                    f"{trace.mean_frames_per_second:.1f}",
+                    f"{baseline.average_power_mw:.0f}",
+                    f"{hide10.average_power_mw:.0f}",
+                    f"{hide10.savings_vs(baseline):.0%}",
+                    f"{hide2.savings_vs(baseline):.0%}",
+                    f"{drain_days(battery, baseline.breakdown.average_power_w):.1f}",
+                    f"{drain_days(battery, hide10.breakdown.average_power_w):.1f}",
+                ]
+            )
+        print(
+            render_table(
+                [
+                    "building", "frames/s", "stock mW", "HIDE mW",
+                    "save@10%", "save@2%", "stock days", "HIDE days",
+                ],
+                rows,
+                title=(
+                    f"{device.name}: broadcast-handling power and the days "
+                    "it alone would take to drain the battery"
+                ),
+            )
+        )
+        print()
+
+    print(
+        "Reading: 'stock days' is how long the battery lasts if broadcast\n"
+        "handling were the only drain; HIDE multiplies that standby margin\n"
+        "by 2-4x in chatty buildings (classroom, libraries)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — a reproduction of HIDE (ICDCS 2016).
+
+HIDE is an AP-assisted broadcast traffic management system that saves
+smartphone energy by hiding useless UDP broadcast frames from suspended
+clients: clients report their open UDP ports to the AP before
+suspending, and the AP's per-client Broadcast Traffic Indication Map
+(BTIM) beacon element wakes a client only when buffered broadcast
+traffic is actually useful to it.
+
+Quickstart::
+
+    from repro import (
+        generate_trace, clustered_fraction_mask,
+        ReceiveAllSolution, HideSolution, NEXUS_ONE,
+    )
+
+    trace = generate_trace("Starbucks")
+    mask = clustered_fraction_mask(trace, fraction=0.10)
+    baseline = ReceiveAllSolution().evaluate(trace, mask, NEXUS_ONE)
+    hide = HideSolution().evaluate(trace, mask, NEXUS_ONE)
+    print(f"HIDE saves {hide.savings_vs(baseline):.0%}")
+
+Package map: :mod:`repro.dot11` (frames), :mod:`repro.net` (IPv4/UDP),
+:mod:`repro.sim` (event engine), :mod:`repro.ap` / :mod:`repro.station`
+(protocol entities), :mod:`repro.energy` (Section IV model),
+:mod:`repro.traces` (workloads), :mod:`repro.solutions` (baselines +
+HIDE), :mod:`repro.analysis` (Section V overheads),
+:mod:`repro.experiments` (per-figure reproductions).
+"""
+
+from repro.energy import (
+    DeviceEnergyProfile,
+    EnergyBreakdown,
+    EnergyModel,
+    FrameEvent,
+    GALAXY_S4,
+    HideOverheadParams,
+    NEXUS_ONE,
+)
+from repro.solutions import (
+    ClientSideSolution,
+    CombinedSolution,
+    HideRealisticSolution,
+    HideSolution,
+    ReceiveAllSolution,
+    Solution,
+    SolutionResult,
+)
+from repro.traces import (
+    BroadcastFrameRecord,
+    BroadcastTrace,
+    PAPER_SCENARIOS,
+    ScenarioSpec,
+    UsefulnessAssignment,
+    clustered_fraction_mask,
+    generate_trace,
+    load_trace_jsonl,
+    port_subset_mask,
+    random_fraction_mask,
+    save_trace_jsonl,
+    scenario_by_name,
+    spread_fraction_mask,
+)
+from repro.analysis import (
+    BianchiModel,
+    CapacityAnalysis,
+    DelayAnalysis,
+    HashTimingModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # energy
+    "DeviceEnergyProfile",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "FrameEvent",
+    "GALAXY_S4",
+    "HideOverheadParams",
+    "NEXUS_ONE",
+    # solutions
+    "ClientSideSolution",
+    "CombinedSolution",
+    "HideRealisticSolution",
+    "HideSolution",
+    "ReceiveAllSolution",
+    "Solution",
+    "SolutionResult",
+    # traces
+    "BroadcastFrameRecord",
+    "BroadcastTrace",
+    "PAPER_SCENARIOS",
+    "ScenarioSpec",
+    "UsefulnessAssignment",
+    "clustered_fraction_mask",
+    "generate_trace",
+    "load_trace_jsonl",
+    "port_subset_mask",
+    "random_fraction_mask",
+    "save_trace_jsonl",
+    "scenario_by_name",
+    "spread_fraction_mask",
+    # analysis
+    "BianchiModel",
+    "CapacityAnalysis",
+    "DelayAnalysis",
+    "HashTimingModel",
+]

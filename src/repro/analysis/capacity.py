@@ -1,0 +1,108 @@
+"""Network-capacity overhead of HIDE — Eqs. (20)-(24), Figure 10.
+
+UDP Port Messages consume transmission opportunities that would have
+carried data frames. With n_u = N·p·f messages per second, each
+displacing ⌈L_m/L⌉ average-size data frames, the relative capacity
+decrease is c = 1 − S₂/S₁.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.bianchi import BianchiModel
+from repro.analysis.netconfig import DOT11B_CONFIG, NetworkConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """One (N, p) point of Figure 10."""
+
+    stations: int
+    hide_fraction: float
+    port_message_interval_s: float
+    ports_per_message: int
+    baseline_capacity_bps: float
+    hide_capacity_bps: float
+
+    @property
+    def capacity_decrease(self) -> float:
+        """c = 1 − S₂/S₁ (Eq. 24)."""
+        return 1.0 - self.hide_capacity_bps / self.baseline_capacity_bps
+
+
+class CapacityAnalysis:
+    """Evaluate Eqs. (20)-(24) over a Bianchi baseline."""
+
+    def __init__(self, config: NetworkConfig = DOT11B_CONFIG) -> None:
+        self.config = config
+        self._bianchi = BianchiModel(config)
+
+    def port_message_bits(self, ports_per_message: int) -> int:
+        """Eq. (19) in bits: L_phy + L_mac + (2 + 2·N_i) bytes of body."""
+        if ports_per_message < 0:
+            raise ConfigurationError("ports per message must be non-negative")
+        body_bits = (2 + 2 * ports_per_message) * 8
+        return self.config.phy_overhead_bits + self.config.mac_header_bits + body_bits
+
+    def evaluate(
+        self,
+        stations: int,
+        hide_fraction: float,
+        port_message_interval_s: float = 10.0,
+        ports_per_message: int = 50,
+    ) -> CapacityResult:
+        """Capacity with and without HIDE for one configuration.
+
+        ``hide_fraction`` is p, the fraction of stations running HIDE;
+        ``port_message_interval_s`` is 1/f.
+        """
+        if not 0.0 <= hide_fraction <= 1.0:
+            raise ConfigurationError(f"hide fraction must be in [0,1]: {hide_fraction}")
+        if port_message_interval_s <= 0:
+            raise ConfigurationError("port message interval must be positive")
+
+        baseline = self._bianchi.evaluate(stations)
+        s1 = baseline.throughput_bps  # Eq. (20)
+        payload_bits = self.config.payload_bits
+        data_frames_per_s = s1 / payload_bits  # Eq. (22)
+        messages_per_s = stations * hide_fraction / port_message_interval_s  # Eq. (21)
+        # Eq. (23): each message displaces ⌊L_m/L⌋ average data frames
+        # (at least one — a transmission opportunity is consumed even by
+        # a message shorter than the average frame).
+        displaced = max(
+            1, math.floor(self.port_message_bits(ports_per_message) / payload_bits)
+        )
+        s2 = (data_frames_per_s - messages_per_s * displaced) * payload_bits  # Eq. (23)
+        if s2 < 0:
+            s2 = 0.0
+        return CapacityResult(
+            stations=stations,
+            hide_fraction=hide_fraction,
+            port_message_interval_s=port_message_interval_s,
+            ports_per_message=ports_per_message,
+            baseline_capacity_bps=s1,
+            hide_capacity_bps=s2,
+        )
+
+    def sweep(
+        self,
+        station_counts: Sequence[int],
+        hide_fractions: Sequence[float],
+        port_message_interval_s: float = 10.0,
+        ports_per_message: int = 50,
+    ) -> List[CapacityResult]:
+        """The full Figure 10 grid."""
+        return [
+            self.evaluate(
+                stations,
+                fraction,
+                port_message_interval_s=port_message_interval_s,
+                ports_per_message=ports_per_message,
+            )
+            for fraction in hide_fractions
+            for stations in station_counts
+        ]

@@ -1,0 +1,32 @@
+"""The HIDE-enabled access point.
+
+Pieces:
+
+* :class:`~repro.ap.association.AssociationTable` — AID allocation.
+* :class:`~repro.ap.port_table.ClientUdpPortTable` — the paper's hash
+  table mapping UDP port → clients listening on it.
+* :func:`~repro.ap.flags.compute_broadcast_flags` — Algorithm 1.
+* :class:`~repro.ap.buffer.BroadcastBuffer` /
+  :class:`~repro.ap.buffer.UnicastBuffer` — PS-mode frame buffering.
+* :class:`~repro.ap.access_point.AccessPoint` — the DES entity tying it
+  together: beaconing, DTIM scheduling, BTIM construction, buffer
+  draining with more-data bits, UDP Port Message handling.
+"""
+
+from repro.ap.association import AssociationTable, AssociationRecord
+from repro.ap.port_table import ClientUdpPortTable, PortTableStats
+from repro.ap.flags import compute_broadcast_flags
+from repro.ap.buffer import BroadcastBuffer, UnicastBuffer
+from repro.ap.access_point import AccessPoint, ApConfig
+
+__all__ = [
+    "AssociationTable",
+    "AssociationRecord",
+    "ClientUdpPortTable",
+    "PortTableStats",
+    "compute_broadcast_flags",
+    "BroadcastBuffer",
+    "UnicastBuffer",
+    "AccessPoint",
+    "ApConfig",
+]

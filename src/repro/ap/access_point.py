@@ -1,0 +1,306 @@
+"""The access point entity: beaconing, DTIM bursts, and HIDE logic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ap.association import AssociationTable
+from repro.dot11.association_frames import (
+    STATUS_DENIED,
+    STATUS_SUCCESS,
+    AssociationRequest,
+    AssociationResponse,
+)
+from repro.dot11.disassociation import Disassociation
+from repro.dot11.probe_frames import ProbeRequest, ProbeResponse
+from repro.errors import AssociationError
+from repro.ap.buffer import BroadcastBuffer, UnicastBuffer
+from repro.ap.flags import compute_broadcast_flags
+from repro.ap.port_table import ClientUdpPortTable
+from repro.dot11.control import Ack, PsPoll
+from repro.dot11.data import DataFrame
+from repro.dot11.elements.btim import BtimElement
+from repro.dot11.elements.dsss import DsssParameterElement
+from repro.dot11.elements.tim import TimElement
+from repro.dot11.management import Beacon, UdpPortMessage
+from repro.dot11.mac_address import MacAddress
+from repro.errors import ConfigurationError
+from repro.sim.entity import Entity
+from repro.sim.medium import Medium, SIFS_S, Transmission
+from repro.units import BEACON_INTERVAL_S, mbps
+
+
+@dataclass(frozen=True)
+class ApConfig:
+    """Static AP configuration.
+
+    ``hide_enabled`` switches the whole mechanism: when False the AP is
+    a plain 802.11 AP (the paper's receive-all world) and beacons carry
+    no BTIM.
+    """
+
+    ssid: str = "hide-net"
+    beacon_interval_s: float = BEACON_INTERVAL_S
+    dtim_period: int = 1
+    channel: int = 6
+    beacon_rate_bps: float = mbps(1)
+    broadcast_rate_bps: float = mbps(1)
+    hide_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.beacon_interval_s <= 0:
+            raise ConfigurationError("beacon interval must be positive")
+        if not 1 <= self.dtim_period <= 255:
+            raise ConfigurationError(f"DTIM period out of range: {self.dtim_period}")
+
+
+@dataclass
+class ApCounters:
+    """Observable AP activity, for tests and examples."""
+
+    beacons_sent: int = 0
+    dtims_sent: int = 0
+    broadcast_frames_sent: int = 0
+    broadcast_frames_buffered: int = 0
+    port_messages_received: int = 0
+    acks_sent: int = 0
+    ps_polls_received: int = 0
+    unicast_frames_sent: int = 0
+    association_requests_received: int = 0
+    probe_requests_answered: int = 0
+    disassociations_received: int = 0
+
+
+class AccessPoint(Entity):
+    """A DES access point implementing standard PS buffering plus HIDE."""
+
+    def __init__(
+        self,
+        mac: MacAddress,
+        medium: Medium,
+        config: Optional[ApConfig] = None,
+    ) -> None:
+        super().__init__(name=f"ap-{mac}")
+        self.mac = mac
+        self._medium = medium
+        self.config = config or ApConfig()
+        self.associations = AssociationTable()
+        self.port_table = ClientUdpPortTable()
+        self.broadcast_buffer = BroadcastBuffer()
+        self.unicast_buffer = UnicastBuffer()
+        self.counters = ApCounters()
+        self._dtim_count = 0
+        self._sequence = 0
+        #: AIDs flagged in the most recent BTIM (exposed for tests).
+        self.last_btim_aids: frozenset = frozenset()
+
+    # -- association -------------------------------------------------
+
+    def associate(self, mac: MacAddress, hide_capable: bool = False):
+        """Admit a station (association handshake abstracted away)."""
+        return self.associations.associate(mac, hide_capable=hide_capable)
+
+    def disassociate(self, mac: MacAddress) -> None:
+        record = self.associations.by_mac(mac)
+        self.port_table.remove_client(record.aid)
+        self.associations.disassociate(mac)
+
+    # -- scheduling ---------------------------------------------------
+
+    def on_attach(self) -> None:
+        self.simulator.schedule(self.config.beacon_interval_s, self._beacon_tick)
+
+    def _next_sequence(self) -> int:
+        self._sequence = (self._sequence + 1) & 0xFFF
+        return self._sequence
+
+    def _beacon_tick(self) -> None:
+        self._transmit_beacon()
+        if self._dtim_count == 0:
+            self._drain_broadcast_buffer()
+        self._dtim_count = (self._dtim_count + 1) % self.config.dtim_period
+        self.simulator.schedule(self.config.beacon_interval_s, self._beacon_tick)
+
+    def _transmit_beacon(self) -> None:
+        group_buffered = (
+            len(self.broadcast_buffer) > 0 and self.associations.any_in_power_save()
+        )
+        tim = TimElement(
+            dtim_count=self._dtim_count,
+            dtim_period=self.config.dtim_period,
+            group_traffic_buffered=group_buffered,
+            aids_with_traffic=frozenset(
+                self.associations.by_mac(mac).aid
+                for mac in self.unicast_buffer.clients_with_traffic()
+            ),
+        )
+        btim = None
+        if self.config.hide_enabled and self._dtim_count == 0:
+            flags = compute_broadcast_flags(
+                self.broadcast_buffer.peek_all(), self.port_table
+            )
+            self.last_btim_aids = flags
+            btim = BtimElement(flags)
+        beacon = Beacon(
+            bssid=self.mac,
+            timestamp_us=int(self.now * 1e6),
+            beacon_interval_tu=max(1, round(self.config.beacon_interval_s / 1024e-6)),
+            tim=tim,
+            btim=btim,
+            ssid=self.config.ssid,
+            dsss=DsssParameterElement(self.config.channel),
+            sequence=self._next_sequence(),
+        )
+        self.counters.beacons_sent += 1
+        if self._dtim_count == 0:
+            self.counters.dtims_sent += 1
+        self._medium.transmit(
+            self, beacon, beacon.to_bytes(), self.config.beacon_rate_bps
+        )
+
+    def _drain_broadcast_buffer(self) -> None:
+        for frame in self.broadcast_buffer.drain():
+            self.counters.broadcast_frames_sent += 1
+            self._medium.transmit(
+                self, frame, frame.to_bytes(), self.config.broadcast_rate_bps
+            )
+
+    # -- ingress from the distribution system -------------------------
+
+    def deliver_from_ds(self, ip_packet: bytes, source_mac: MacAddress) -> None:
+        """A broadcast IP packet arrived from the wired side.
+
+        Buffered until the next DTIM whenever any client radio is in PS
+        mode (the standard rule); sent immediately otherwise.
+        """
+        frame = DataFrame.broadcast_udp(
+            bssid=self.mac,
+            source=source_mac,
+            ip_packet=ip_packet,
+            sequence=self._next_sequence(),
+        )
+        if self.associations.any_in_power_save():
+            self.counters.broadcast_frames_buffered += 1
+            self.broadcast_buffer.enqueue(frame)
+        else:
+            self.counters.broadcast_frames_sent += 1
+            self._medium.transmit(
+                self, frame, frame.to_bytes(), self.config.broadcast_rate_bps
+            )
+
+    def deliver_unicast_from_ds(self, frame: DataFrame) -> None:
+        """A unicast frame for an associated client arrived from the DS."""
+        record = self.associations.get_by_mac(frame.destination)
+        if record is not None and record.power_save:
+            self.unicast_buffer.enqueue(frame)
+        else:
+            self._medium.transmit(
+                self, frame, frame.to_bytes(), self.config.broadcast_rate_bps
+            )
+
+    # -- receive path --------------------------------------------------
+
+    def on_receive(self, transmission: Transmission) -> None:
+        frame = transmission.frame
+        if isinstance(frame, UdpPortMessage):
+            self._handle_port_message(frame)
+        elif isinstance(frame, PsPoll):
+            self._handle_ps_poll(frame)
+        elif isinstance(frame, AssociationRequest):
+            self._handle_association_request(frame)
+        elif isinstance(frame, ProbeRequest):
+            self._handle_probe_request(frame)
+        elif isinstance(frame, Disassociation):
+            self._handle_disassociation(frame)
+
+    def _handle_disassociation(self, frame: Disassociation) -> None:
+        if frame.destination != self.mac and frame.bssid != self.mac:
+            return
+        record = self.associations.get_by_mac(frame.source)
+        if record is None:
+            return
+        self.counters.disassociations_received += 1
+        self.port_table.remove_client(record.aid)
+        self.associations.disassociate(frame.source)
+
+    def _handle_probe_request(self, request: ProbeRequest) -> None:
+        if not request.is_wildcard and request.ssid != self.config.ssid:
+            return
+        self.counters.probe_requests_answered += 1
+        response = ProbeResponse(
+            destination=request.source,
+            bssid=self.mac,
+            ssid=self.config.ssid,
+            beacon_interval_tu=max(
+                1, round(self.config.beacon_interval_s / 1024e-6)
+            ),
+            channel=self.config.channel,
+            hide_supported=self.config.hide_enabled,
+            timestamp_us=int(self.now * 1e6),
+            sequence=self._next_sequence(),
+        )
+        self._medium.transmit(
+            self, response, response.to_bytes(), self.config.beacon_rate_bps,
+            gap_s=SIFS_S,
+        )
+
+    def _handle_association_request(self, request: AssociationRequest) -> None:
+        if request.bssid != self.mac:
+            return
+        self.counters.association_requests_received += 1
+        try:
+            record = self.associations.associate(
+                request.source, hide_capable=request.hide_capable
+            )
+        except AssociationError:
+            response = AssociationResponse(
+                destination=request.source,
+                bssid=self.mac,
+                status=STATUS_DENIED,
+                aid=0,
+                sequence=self._next_sequence(),
+            )
+        else:
+            if request.hide_capable and request.initial_ports:
+                self.port_table.update_client(record.aid, request.initial_ports)
+            response = AssociationResponse(
+                destination=request.source,
+                bssid=self.mac,
+                status=STATUS_SUCCESS,
+                aid=record.aid,
+                sequence=self._next_sequence(),
+            )
+        self._medium.transmit(
+            self, response, response.to_bytes(), self.config.beacon_rate_bps,
+            gap_s=SIFS_S,
+        )
+
+    def _handle_port_message(self, message: UdpPortMessage) -> None:
+        record = self.associations.get_by_mac(message.source)
+        if record is None:
+            return  # not associated: silently dropped, no ACK
+        self.counters.port_messages_received += 1
+        self.port_table.update_client(record.aid, message.ports)
+        ack = Ack(receiver=message.source)
+        self.counters.acks_sent += 1
+        self._medium.transmit(
+            self, ack, ack.to_bytes(), self.config.beacon_rate_bps, gap_s=SIFS_S
+        )
+
+    def _handle_ps_poll(self, poll: PsPoll) -> None:
+        self.counters.ps_polls_received += 1
+        try:
+            record = self.associations.by_aid(poll.aid)
+        except Exception:
+            return
+        frame = self.unicast_buffer.pop_for(record.mac)
+        if frame is not None:
+            self.counters.unicast_frames_sent += 1
+            self._medium.transmit(
+                self,
+                frame,
+                frame.to_bytes(),
+                self.config.broadcast_rate_bps,
+                gap_s=SIFS_S,
+            )

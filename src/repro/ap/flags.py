@@ -1,0 +1,49 @@
+"""Algorithm 1: compute per-client broadcast flags at the start of a DTIM.
+
+For every broadcast frame currently buffered, extract the destination
+UDP port from the frame bytes, look up which clients have that port
+open, and set those clients' flags. The output is the AID set that the
+BTIM element encodes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.ap.port_table import ClientUdpPortTable
+from repro.dot11.data import DataFrame
+from repro.errors import FrameDecodeError
+from repro.net.packet import extract_udp_dst_port_from_dot11_body
+
+
+def compute_broadcast_flags(
+    buffered_frames: Iterable[DataFrame],
+    port_table: ClientUdpPortTable,
+) -> FrozenSet[int]:
+    """Return the AIDs with at least one useful buffered broadcast frame.
+
+    Frames that are not UDP-over-IPv4 (or are unparseable) contribute no
+    flags: the HIDE policy covers UDP-padded broadcast frames only, and
+    a frame the AP cannot classify must not wake anyone through the
+    BTIM. (Legacy clients still learn about it through the standard
+    TIM's group-traffic bit.)
+    """
+    flags: Set[int] = set()
+    for frame in buffered_frames:
+        port = frame_udp_port(frame)
+        if port is None:
+            continue
+        flags.update(port_table.clients_for_port(port))
+    return frozenset(flags)
+
+
+def frame_udp_port(frame: DataFrame) -> Optional[int]:
+    """Destination UDP port of a buffered frame, or ``None``.
+
+    This is the byte-parsing path a real AP would run: LLC/SNAP → IPv4
+    → UDP. Malformed packets are treated as unclassifiable.
+    """
+    try:
+        return extract_udp_dst_port_from_dot11_body(frame.llc_payload)
+    except FrameDecodeError:
+        return None

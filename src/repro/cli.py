@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``trace generate`` — synthesize a scenario trace to JSONL (and CSV).
+* ``trace inspect`` — volume stats, CDF, and service mix of a trace.
+* ``energy compare`` — receive-all vs client-side vs HIDE on a trace.
+* ``experiments run`` — regenerate paper tables/figures (all or some).
+* ``experiments headline`` — the headline-claims scorecard.
+* ``overhead capacity`` / ``overhead delay`` — Section V analyses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import CapacityAnalysis, DelayAnalysis
+from repro.energy.profile import ALL_PROFILES, GALAXY_S4, NEXUS_ONE
+from repro.errors import ReproError
+from repro.reporting import render_cdf, render_table
+from repro.solutions import ClientSideSolution, HideSolution, ReceiveAllSolution
+from repro.traces import (
+    clustered_fraction_mask,
+    generate_trace,
+    load_trace_jsonl,
+    random_fraction_mask,
+    save_trace_jsonl,
+    scenario_by_name,
+    spread_fraction_mask,
+    trace_to_csv,
+)
+
+_DEVICES = {"nexus-one": NEXUS_ONE, "galaxy-s4": GALAXY_S4}
+_STRATEGIES = {
+    "clustered": clustered_fraction_mask,
+    "random": random_fraction_mask,
+    "spread": lambda trace, fraction, seed=0: spread_fraction_mask(trace, fraction),
+}
+
+
+def _load_trace(source: str):
+    """A scenario name or a path to a JSONL trace."""
+    try:
+        return generate_trace(scenario_by_name(source))
+    except ReproError:
+        return load_trace_jsonl(source)
+
+
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    trace = generate_trace(scenario_by_name(args.scenario), seed=args.seed)
+    save_trace_jsonl(trace, args.out)
+    print(f"wrote {len(trace)} frames to {args.out}")
+    if args.csv:
+        trace_to_csv(trace, args.csv)
+        print(f"wrote CSV to {args.csv}")
+    return 0
+
+
+def cmd_trace_inspect(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.source)
+    cdf = trace.volume_cdf()
+    print(
+        f"{trace.name}: {len(trace)} frames over {trace.duration_s / 60:.1f} min "
+        f"({trace.mean_frames_per_second:.2f} frames/s)"
+    )
+    print(
+        f"volume: p50 {cdf.quantile(0.5):.0f}, p95 {cdf.quantile(0.95):.0f}, "
+        f"max {cdf.max:.0f} frames/s"
+    )
+    print(render_cdf(cdf.points(), title="frames/s CDF",
+                     x_max=max(10.0, cdf.quantile(0.99))))
+    from repro.net.ports import service_for_port
+
+    rows = []
+    for port, count in sorted(
+        trace.port_histogram().items(), key=lambda kv: -kv[1]
+    )[:10]:
+        service = service_for_port(port)
+        rows.append(
+            [str(port), service.name if service else "?",
+             str(count), f"{count / max(1, len(trace)):.1%}"]
+        )
+    print(render_table(["port", "service", "frames", "share"], rows))
+
+    from repro.traces.stats import compute_stats
+
+    stats = compute_stats(trace)
+    print(
+        f"\nstructure: {stats.burst_count} bursts "
+        f"(mean {stats.mean_burst_frames:.1f} frames / "
+        f"{stats.mean_burst_duration_s * 1e3:.0f} ms), "
+        f"dispersion index {stats.index_of_dispersion:.1f}, "
+        f"{stats.sleepable_gap_fraction:.0%} of gaps long enough to suspend"
+    )
+    return 0
+
+
+def cmd_energy_compare(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.source)
+    profile = _DEVICES[args.device]
+    mask = _STRATEGIES[args.strategy](trace, args.fraction, seed=args.seed)
+    solutions = [ReceiveAllSolution(), ClientSideSolution(), HideSolution()]
+    results = [s.evaluate(trace, mask, profile) for s in solutions]
+    baseline = results[0]
+    rows = [
+        [
+            r.solution,
+            f"{r.average_power_mw:.1f}",
+            f"{r.suspend_fraction:.1%}",
+            f"{r.savings_vs(baseline):.1%}",
+        ]
+        for r in results
+    ]
+    print(
+        render_table(
+            ["solution", "avg power (mW)", "suspended", "saving"],
+            rows,
+            title=(
+                f"{trace.name} on {profile.name}, "
+                f"{mask.achieved_fraction:.1%} useful "
+                f"({mask.strategy} assignment)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_experiments_run(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    if args.only:
+        import importlib
+
+        from repro.experiments.context import default_context
+
+        context = default_context()
+        needs_context = {"figure6", "figure7", "figure8", "figure9", "headline"}
+        for name in args.only.split(","):
+            name = name.strip()
+            module = importlib.import_module(f"repro.experiments.{name}")
+            if name in needs_context:
+                print(module.render(module.compute(context)))
+            else:
+                print(module.render())
+            print("=" * 72)
+        return 0
+    print(runner.run_all())
+    return 0
+
+
+def cmd_experiments_headline(args: argparse.Namespace) -> int:
+    from repro.experiments import headline
+
+    result = headline.compute()
+    print(headline.render(result))
+    return 0 if result.all_match else 1
+
+
+def cmd_overhead_capacity(args: argparse.Namespace) -> int:
+    analysis = CapacityAnalysis()
+    result = analysis.evaluate(
+        args.nodes,
+        args.adoption,
+        port_message_interval_s=args.interval,
+        ports_per_message=args.ports,
+    )
+    print(
+        f"baseline capacity: {result.baseline_capacity_bps / 1e6:.3f} Mb/s\n"
+        f"with HIDE:         {result.hide_capacity_bps / 1e6:.3f} Mb/s\n"
+        f"decrease:          {result.capacity_decrease:.4%}"
+    )
+    return 0
+
+
+def cmd_overhead_delay(args: argparse.Namespace) -> int:
+    analysis = DelayAnalysis()
+    result = analysis.evaluate(
+        args.nodes,
+        hide_fraction=args.adoption,
+        port_message_interval_s=args.interval,
+        open_ports_per_client=args.ports,
+        buffered_frames_per_dtim=args.buffered,
+    )
+    print(
+        f"t1 (table refresh): {result.refresh_time_s * 1e3:.3f} ms\n"
+        f"t2 (DTIM lookups):  {result.lookup_time_s * 1e3:.3f} ms\n"
+        f"RTT increase:       {result.delay_increase:.3%} "
+        f"(over {result.baseline_rtt_s * 1e3:.1f} ms)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HIDE (ICDCS 2016) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    trace = commands.add_parser("trace", help="trace tooling")
+    trace_sub = trace.add_subparsers(dest="subcommand", required=True)
+    generate = trace_sub.add_parser("generate", help="synthesize a scenario trace")
+    generate.add_argument("scenario", help="Classroom, CS_Dept, WML, Starbucks, WRL")
+    generate.add_argument("--out", required=True, help="output JSONL path")
+    generate.add_argument("--csv", help="also write a CSV export")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.set_defaults(func=cmd_trace_generate)
+    inspect = trace_sub.add_parser("inspect", help="summarize a trace")
+    inspect.add_argument("source", help="scenario name or JSONL path")
+    inspect.set_defaults(func=cmd_trace_inspect)
+
+    energy = commands.add_parser("energy", help="energy evaluation")
+    energy_sub = energy.add_subparsers(dest="subcommand", required=True)
+    compare = energy_sub.add_parser("compare", help="compare the solutions")
+    compare.add_argument("source", help="scenario name or JSONL path")
+    compare.add_argument("--device", choices=sorted(_DEVICES), default="nexus-one")
+    compare.add_argument("--fraction", type=float, default=0.10)
+    compare.add_argument("--strategy", choices=sorted(_STRATEGIES), default="clustered")
+    compare.add_argument("--seed", type=int, default=42)
+    compare.set_defaults(func=cmd_energy_compare)
+
+    experiments = commands.add_parser("experiments", help="paper reproductions")
+    experiments_sub = experiments.add_subparsers(dest="subcommand", required=True)
+    run = experiments_sub.add_parser("run", help="regenerate tables/figures")
+    run.add_argument(
+        "--only", help="comma-separated module names, e.g. figure10,figure11"
+    )
+    run.set_defaults(func=cmd_experiments_run)
+    headline = experiments_sub.add_parser("headline", help="claims scorecard")
+    headline.set_defaults(func=cmd_experiments_headline)
+
+    overhead = commands.add_parser("overhead", help="Section V analyses")
+    overhead_sub = overhead.add_subparsers(dest="subcommand", required=True)
+    capacity = overhead_sub.add_parser("capacity", help="network capacity cost")
+    capacity.add_argument("--nodes", type=int, default=50)
+    capacity.add_argument("--adoption", type=float, default=0.5)
+    capacity.add_argument("--interval", type=float, default=10.0)
+    capacity.add_argument("--ports", type=int, default=50)
+    capacity.set_defaults(func=cmd_overhead_capacity)
+    delay = overhead_sub.add_parser("delay", help="RTT cost")
+    delay.add_argument("--nodes", type=int, default=50)
+    delay.add_argument("--adoption", type=float, default=0.5)
+    delay.add_argument("--interval", type=float, default=10.0)
+    delay.add_argument("--ports", type=int, default=50)
+    delay.add_argument("--buffered", type=float, default=10.0)
+    delay.set_defaults(func=cmd_overhead_delay)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

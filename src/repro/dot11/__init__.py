@@ -1,0 +1,95 @@
+"""Byte-accurate 802.11 frame substrate.
+
+This package implements the subset of IEEE 802.11 needed by the HIDE
+system: MAC addressing, the frame-control field, management frames
+(beacons and the HIDE *UDP Port Message*), control frames (ACK,
+PS-Poll), data frames carrying LLC/SNAP payloads, and the TLV
+information elements — including the two elements HIDE adds to the
+protocol: *Open UDP Ports* (ID 200) and the *Broadcast Traffic
+Indication Map* (BTIM, ID 201).
+
+Everything round-trips through real bytes: ``Frame.to_bytes()`` and
+``Frame.from_bytes()`` are inverses, and the access point in
+:mod:`repro.ap` parses these bytes the way a real AP implementation
+would.
+"""
+
+from repro.dot11.mac_address import MacAddress, BROADCAST
+from repro.dot11.frame_control import (
+    FrameControl,
+    FrameType,
+    ManagementSubtype,
+    ControlSubtype,
+    DataSubtype,
+)
+from repro.dot11.information_element import (
+    InformationElement,
+    RawInformationElement,
+    ELEMENT_ID_OPEN_UDP_PORTS,
+    ELEMENT_ID_BTIM,
+    parse_elements,
+    serialize_elements,
+)
+from repro.dot11.elements.ssid import SsidElement
+from repro.dot11.elements.supported_rates import SupportedRatesElement
+from repro.dot11.elements.dsss import DsssParameterElement
+from repro.dot11.elements.tim import TimElement
+from repro.dot11.elements.btim import BtimElement
+from repro.dot11.elements.open_udp_ports import OpenUdpPortsElement
+from repro.dot11.management import Beacon, UdpPortMessage, CapabilityInfo
+from repro.dot11.association_frames import (
+    AssociationRequest,
+    AssociationResponse,
+    STATUS_SUCCESS,
+    STATUS_DENIED,
+)
+from repro.dot11.probe_frames import ProbeRequest, ProbeResponse
+from repro.dot11.control import Ack, PsPoll
+from repro.dot11.data import DataFrame
+from repro.dot11.llc import LlcSnapHeader, ETHERTYPE_IPV4
+from repro.dot11.sizes import (
+    MAC_HEADER_BYTES,
+    FCS_BYTES,
+    PHY_OVERHEAD_BITS,
+    standard_beacon_length,
+)
+
+__all__ = [
+    "MacAddress",
+    "BROADCAST",
+    "FrameControl",
+    "FrameType",
+    "ManagementSubtype",
+    "ControlSubtype",
+    "DataSubtype",
+    "InformationElement",
+    "RawInformationElement",
+    "ELEMENT_ID_OPEN_UDP_PORTS",
+    "ELEMENT_ID_BTIM",
+    "parse_elements",
+    "serialize_elements",
+    "SsidElement",
+    "SupportedRatesElement",
+    "DsssParameterElement",
+    "TimElement",
+    "BtimElement",
+    "OpenUdpPortsElement",
+    "Beacon",
+    "UdpPortMessage",
+    "CapabilityInfo",
+    "AssociationRequest",
+    "AssociationResponse",
+    "STATUS_SUCCESS",
+    "STATUS_DENIED",
+    "ProbeRequest",
+    "ProbeResponse",
+    "Ack",
+    "PsPoll",
+    "DataFrame",
+    "LlcSnapHeader",
+    "ETHERTYPE_IPV4",
+    "MAC_HEADER_BYTES",
+    "FCS_BYTES",
+    "PHY_OVERHEAD_BITS",
+    "standard_beacon_length",
+]

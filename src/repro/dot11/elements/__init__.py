@@ -1,0 +1,17 @@
+"""Typed 802.11 information elements, including HIDE's new ones."""
+
+from repro.dot11.elements.ssid import SsidElement
+from repro.dot11.elements.supported_rates import SupportedRatesElement
+from repro.dot11.elements.dsss import DsssParameterElement
+from repro.dot11.elements.tim import TimElement
+from repro.dot11.elements.btim import BtimElement
+from repro.dot11.elements.open_udp_ports import OpenUdpPortsElement
+
+__all__ = [
+    "SsidElement",
+    "SupportedRatesElement",
+    "DsssParameterElement",
+    "TimElement",
+    "BtimElement",
+    "OpenUdpPortsElement",
+]

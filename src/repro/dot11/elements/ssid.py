@@ -1,0 +1,36 @@
+"""SSID information element (ID 0)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dot11.information_element import (
+    ELEMENT_ID_SSID,
+    InformationElement,
+    register_element,
+)
+from repro.errors import FrameDecodeError
+
+
+@register_element
+@dataclass(frozen=True)
+class SsidElement(InformationElement):
+    """The network name, up to 32 bytes of UTF-8."""
+
+    ssid: str
+
+    element_id = ELEMENT_ID_SSID
+
+    def __post_init__(self) -> None:
+        if len(self.ssid.encode("utf-8")) > 32:
+            raise ValueError(f"SSID longer than 32 bytes: {self.ssid!r}")
+
+    def payload_bytes(self) -> bytes:
+        return self.ssid.encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "SsidElement":
+        try:
+            return cls(payload.decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise FrameDecodeError("SSID is not valid UTF-8") from exc

@@ -1,0 +1,111 @@
+"""The 802.11 frame-control field (2 bytes) and frame type taxonomy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import FrameDecodeError
+
+
+class FrameType(enum.IntEnum):
+    """Two-bit frame type from the frame-control field."""
+
+    MANAGEMENT = 0b00
+    CONTROL = 0b01
+    DATA = 0b10
+
+
+class ManagementSubtype(enum.IntEnum):
+    """Management subtypes used in this library."""
+
+    ASSOCIATION_REQUEST = 0b0000
+    ASSOCIATION_RESPONSE = 0b0001
+    PROBE_REQUEST = 0b0100
+    PROBE_RESPONSE = 0b0101
+    BEACON = 0b1000
+    DISASSOCIATION = 0b1010
+    #: HIDE's new management frame (the paper assigns subtype 1111).
+    UDP_PORT_MESSAGE = 0b1111
+
+
+class ControlSubtype(enum.IntEnum):
+    PS_POLL = 0b1010
+    ACK = 0b1101
+
+
+class DataSubtype(enum.IntEnum):
+    DATA = 0b0000
+    NULL = 0b0100
+
+
+@dataclass(frozen=True)
+class FrameControl:
+    """Decoded frame-control field.
+
+    Only the fields the HIDE system touches are modelled as attributes;
+    the remaining bits (to-DS/from-DS, retry, protected, order) are kept
+    but default to zero. ``more_data`` matters: the AP sets it on
+    buffered broadcast frames to tell PS stations another frame follows.
+    """
+
+    ftype: FrameType
+    subtype: int
+    to_ds: bool = False
+    from_ds: bool = False
+    more_fragments: bool = False
+    retry: bool = False
+    power_management: bool = False
+    more_data: bool = False
+    protected: bool = False
+    order: bool = False
+    protocol_version: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.subtype <= 0xF:
+            raise ValueError(f"subtype out of range: {self.subtype}")
+        if self.protocol_version != 0:
+            raise ValueError("only 802.11 protocol version 0 is supported")
+
+    def to_bytes(self) -> bytes:
+        first = (
+            self.protocol_version
+            | (int(self.ftype) << 2)
+            | (self.subtype << 4)
+        )
+        second = (
+            (1 if self.to_ds else 0)
+            | ((1 if self.from_ds else 0) << 1)
+            | ((1 if self.more_fragments else 0) << 2)
+            | ((1 if self.retry else 0) << 3)
+            | ((1 if self.power_management else 0) << 4)
+            | ((1 if self.more_data else 0) << 5)
+            | ((1 if self.protected else 0) << 6)
+            | ((1 if self.order else 0) << 7)
+        )
+        return bytes([first, second])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FrameControl":
+        if len(data) < 2:
+            raise FrameDecodeError("frame control needs 2 bytes")
+        first, second = data[0], data[1]
+        version = first & 0b11
+        if version != 0:
+            raise FrameDecodeError(f"unsupported 802.11 protocol version {version}")
+        try:
+            ftype = FrameType((first >> 2) & 0b11)
+        except ValueError as exc:
+            raise FrameDecodeError(f"reserved frame type in {data[:2]!r}") from exc
+        return cls(
+            ftype=ftype,
+            subtype=(first >> 4) & 0xF,
+            to_ds=bool(second & 0x01),
+            from_ds=bool(second & 0x02),
+            more_fragments=bool(second & 0x04),
+            retry=bool(second & 0x08),
+            power_management=bool(second & 0x10),
+            more_data=bool(second & 0x20),
+            protected=bool(second & 0x40),
+            order=bool(second & 0x80),
+        )

@@ -1,0 +1,147 @@
+"""TLV information elements: base class, registry, and (de)serialization.
+
+802.11 management frame bodies carry a sequence of information elements,
+each encoded as ``element-id (1 byte) | length (1 byte) | payload``.
+HIDE adds two new elements using reserved IDs: *Open UDP Ports* (200)
+and the *Broadcast Traffic Indication Map* (201).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Type
+
+from repro.errors import FrameDecodeError, FrameEncodeError
+
+ELEMENT_ID_SSID = 0
+ELEMENT_ID_SUPPORTED_RATES = 1
+ELEMENT_ID_DSSS = 3
+ELEMENT_ID_TIM = 5
+#: Reserved ID the paper assigns to the Open UDP Ports element.
+ELEMENT_ID_OPEN_UDP_PORTS = 200
+#: Reserved ID the paper assigns to the BTIM element.
+ELEMENT_ID_BTIM = 201
+
+_MAX_ELEMENT_LENGTH = 255
+
+
+class InformationElement:
+    """Base class for typed information elements.
+
+    Subclasses set the class attribute :attr:`element_id` and implement
+    :meth:`payload_bytes` plus the classmethod :meth:`from_payload`.
+    """
+
+    element_id: int = -1
+
+    def payload_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "InformationElement":
+        raise NotImplementedError
+
+    def to_bytes(self) -> bytes:
+        payload = self.payload_bytes()
+        if len(payload) > _MAX_ELEMENT_LENGTH:
+            raise FrameEncodeError(
+                f"element {self.element_id} payload too long: {len(payload)} bytes"
+            )
+        return bytes([self.element_id, len(payload)]) + payload
+
+    @property
+    def encoded_length(self) -> int:
+        """Total on-air size of this element in bytes (header + payload)."""
+        return 2 + len(self.payload_bytes())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InformationElement):
+            return NotImplemented
+        return (
+            self.element_id == other.element_id
+            and self.payload_bytes() == other.payload_bytes()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.element_id, self.payload_bytes()))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.element_id}, len={len(self.payload_bytes())})"
+
+
+@dataclass(frozen=True)
+class RawInformationElement(InformationElement):
+    """An element whose ID has no registered decoder; payload kept opaque.
+
+    This is how legacy devices treat HIDE's BTIM element: they carry it
+    through parsing and simply ignore it.
+    """
+
+    raw_element_id: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.raw_element_id <= 255:
+            raise ValueError(f"element id out of range: {self.raw_element_id}")
+        if len(self.payload) > _MAX_ELEMENT_LENGTH:
+            raise ValueError(f"payload too long: {len(self.payload)}")
+
+    @property
+    def element_id(self) -> int:  # type: ignore[override]
+        return self.raw_element_id
+
+    def payload_bytes(self) -> bytes:
+        return self.payload
+
+
+_REGISTRY: Dict[int, Callable[[bytes], InformationElement]] = {}
+
+
+def register_element(cls: Type[InformationElement]) -> Type[InformationElement]:
+    """Class decorator registering a typed decoder for an element ID."""
+    if cls.element_id < 0:
+        raise ValueError(f"{cls.__name__} must define element_id")
+    if cls.element_id in _REGISTRY:
+        raise ValueError(f"duplicate decoder for element id {cls.element_id}")
+    _REGISTRY[cls.element_id] = cls.from_payload
+    return cls
+
+
+def parse_elements(data: bytes) -> List[InformationElement]:
+    """Parse a frame-body tail into a list of information elements.
+
+    Unknown element IDs decode to :class:`RawInformationElement` rather
+    than failing, matching how real stations skip unknown elements.
+    """
+    elements: List[InformationElement] = []
+    offset = 0
+    while offset < len(data):
+        if offset + 2 > len(data):
+            raise FrameDecodeError("truncated information element header")
+        element_id = data[offset]
+        length = data[offset + 1]
+        payload = data[offset + 2 : offset + 2 + length]
+        if len(payload) != length:
+            raise FrameDecodeError(
+                f"element {element_id} claims {length} bytes, {len(payload)} present"
+            )
+        decoder = _REGISTRY.get(element_id)
+        if decoder is None:
+            elements.append(RawInformationElement(element_id, payload))
+        else:
+            elements.append(decoder(payload))
+        offset += 2 + length
+    return elements
+
+
+def serialize_elements(elements: Iterable[InformationElement]) -> bytes:
+    """Concatenate elements into a frame-body tail."""
+    return b"".join(element.to_bytes() for element in elements)
+
+
+def find_element(elements: Iterable[InformationElement], element_id: int):
+    """Return the first element with ``element_id``, or ``None``."""
+    for element in elements:
+        if element.element_id == element_id:
+            return element
+    return None

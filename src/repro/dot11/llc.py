@@ -1,0 +1,54 @@
+"""LLC/SNAP encapsulation used by 802.11 data frames.
+
+Data frames do not carry an EtherType directly; the payload starts with
+an 8-byte LLC/SNAP header (``AA AA 03 00 00 00`` + EtherType). The AP's
+traffic differentiation (Algorithm 1) must skip this header to reach the
+IPv4/UDP headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FrameDecodeError
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_IPV6 = 0x86DD
+
+LLC_SNAP_BYTES = 8
+
+_SNAP_PREFIX = bytes([0xAA, 0xAA, 0x03, 0x00, 0x00, 0x00])
+
+
+@dataclass(frozen=True)
+class LlcSnapHeader:
+    """The SNAP header: fixed prefix plus a 2-byte EtherType."""
+
+    ethertype: int = ETHERTYPE_IPV4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"ethertype out of range: {self.ethertype:#x}")
+
+    def to_bytes(self) -> bytes:
+        return _SNAP_PREFIX + self.ethertype.to_bytes(2, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LlcSnapHeader":
+        if len(data) < LLC_SNAP_BYTES:
+            raise FrameDecodeError("truncated LLC/SNAP header")
+        if data[:6] != _SNAP_PREFIX:
+            raise FrameDecodeError(f"not an LLC/SNAP header: {data[:6]!r}")
+        return cls(int.from_bytes(data[6:8], "big"))
+
+    @staticmethod
+    def wrap(ethertype: int, payload: bytes) -> bytes:
+        """Prepend an LLC/SNAP header to ``payload``."""
+        return LlcSnapHeader(ethertype).to_bytes() + payload
+
+    @staticmethod
+    def unwrap(data: bytes):
+        """Split ``data`` into ``(header, payload)``."""
+        header = LlcSnapHeader.from_bytes(data)
+        return header, data[LLC_SNAP_BYTES:]

@@ -1,0 +1,74 @@
+"""The five-way energy breakdown of the paper's Eq. (2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Component order and labels as used in Figures 7-8.
+COMPONENT_LABELS = ("Eb", "Ef", "Est", "Ewl", "Eo")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """E = E_b + E_f + E_st + E_wl + E_o over an observation window."""
+
+    #: E_b — receiving beacon frames (J).
+    beacon_j: float
+    #: E_f — receiving broadcast data frames + associated idle listening (J).
+    receive_j: float
+    #: E_st — system resume/suspend operations, incl. aborted suspends (J).
+    state_transfer_j: float
+    #: E_wl — system active-idle time under WiFi wakelocks (J).
+    wakelock_j: float
+    #: E_o — HIDE overhead: BTIM bytes + UDP Port Messages (J). Zero for
+    #: the baselines.
+    overhead_j: float
+    #: Observation window length (s); average power normalizer.
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive: {self.duration_s}")
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.beacon_j
+            + self.receive_j
+            + self.state_transfer_j
+            + self.wakelock_j
+            + self.overhead_j
+        )
+
+    @property
+    def average_power_w(self) -> float:
+        """E/T — the quantity plotted in Figures 7-8."""
+        return self.total_j / self.duration_s
+
+    def component_power_w(self) -> Dict[str, float]:
+        """Per-component average power, keyed by the Figure 7/8 labels."""
+        return {
+            "Eb": self.beacon_j / self.duration_s,
+            "Ef": self.receive_j / self.duration_s,
+            "Est": self.state_transfer_j / self.duration_s,
+            "Ewl": self.wakelock_j / self.duration_s,
+            "Eo": self.overhead_j / self.duration_s,
+        }
+
+    def savings_vs(self, baseline: "EnergyBreakdown") -> float:
+        """Fractional energy saving relative to ``baseline`` (1 - E/E_base)."""
+        if baseline.total_j <= 0:
+            raise ValueError("baseline consumed no energy")
+        return 1.0 - (self.average_power_w / baseline.average_power_w)
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """All components multiplied by ``factor`` (duration unchanged)."""
+        return EnergyBreakdown(
+            beacon_j=self.beacon_j * factor,
+            receive_j=self.receive_j * factor,
+            state_transfer_j=self.state_transfer_j * factor,
+            wakelock_j=self.wakelock_j * factor,
+            overhead_j=self.overhead_j * factor,
+            duration_s=self.duration_s,
+        )

@@ -1,0 +1,166 @@
+"""The per-frame state recursion of Section IV (Eqs. 3-5 and 14).
+
+Given a sequence of received broadcast frames, derive for each frame
+when its wakelock activates (t_r, Eq. 3), whether the system was
+suspended on arrival (s(i), Eq. 5), how much new wakelock-held time it
+contributes (Σ over frames equals Σ t_wl of Eq. 4), and what fraction of
+a suspend operation its arrival aborted (y(i), Eq. 14).
+
+The recursion generalizes the paper's uniform wakelock timeout τ to a
+per-frame timeout τ_i so the client-side baseline (τ_i = 0 for useless
+frames) falls out of the same machinery. The generalization keeps real
+wakelock semantics: a lock already held can only be *extended* by a new
+frame, never shortened — a τ_i = 0 frame arriving under an active lock
+contributes nothing but also releases nothing. For uniform τ the
+derived quantities coincide exactly with the paper's Eqs. (3)-(5)/(14)
+(property-tested in tests/energy/test_dynamics.py).
+
+State variables carried through the scan:
+
+* ``covered_until`` — the furthest time covered by wakelocks in the
+  current awake episode (the union sweep pointer);
+* ``awake_until`` — when the system last stopped being busy: the later
+  of lock coverage and the last frame's processing instant. A suspend
+  operation starts here; it completes Tsp later unless aborted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import airtime
+
+
+@dataclass(frozen=True)
+class FrameEvent:
+    """One broadcast frame as seen by the client's radio.
+
+    ``useful`` is the paper's u_i; ``more_data`` is the frame's
+    more-data bit d_more(i), which controls post-frame idle listening.
+    """
+
+    time: float
+    length_bytes: int
+    rate_bps: float
+    useful: bool
+    more_data: bool = False
+    udp_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"frame time must be non-negative: {self.time}")
+        if self.length_bytes <= 0:
+            raise ValueError(f"frame length must be positive: {self.length_bytes}")
+        if self.rate_bps <= 0:
+            raise ValueError(f"data rate must be positive: {self.rate_bps}")
+
+    @property
+    def rx_complete(self) -> float:
+        """t_i + l_i / r_i."""
+        return self.time + airtime(self.length_bytes, self.rate_bps)
+
+    @property
+    def transmission_time(self) -> float:
+        """t_t(i) = l_i / r_i (Eq. 8)."""
+        return airtime(self.length_bytes, self.rate_bps)
+
+
+@dataclass(frozen=True)
+class FrameDynamics:
+    """Derived state for one frame."""
+
+    event: FrameEvent
+    #: s(i) == 0: the system was in suspend mode when the frame arrived.
+    suspended_on_arrival: bool
+    #: t_r(i): when this frame's wakelock activates (Eq. 3).
+    wakelock_start: float
+    #: The per-frame wakelock timeout τ_i used in the recursion.
+    wakelock_timeout: float
+    #: New wakelock-held seconds this frame adds to the episode's lock
+    #: coverage. Σ coverage_increment == Σ t_wl(i) of Eq. (4).
+    coverage_increment: float
+    #: y(i): fraction of a suspend operation aborted by this frame.
+    aborted_suspend_fraction: float
+    #: When the system stops being busy after this frame (lock coverage
+    #: or, for τ_i = 0 past coverage, the processing instant itself).
+    awake_until: float
+
+
+def derive_frame_dynamics(
+    frames: Sequence[FrameEvent],
+    wakelock_timeout_s: float,
+    resume_duration_s: float,
+    suspend_duration_s: float,
+    wakelock_for_frame: Optional[Callable[[FrameEvent], float]] = None,
+) -> List[FrameDynamics]:
+    """Run the Section IV recursion over time-sorted ``frames``.
+
+    ``wakelock_for_frame`` overrides the per-frame timeout τ_i; the
+    default is the constant device τ. Like the paper, the first frame
+    is assumed to find the system suspended (s(1) = 0).
+    """
+    if wakelock_timeout_s < 0 or resume_duration_s < 0 or suspend_duration_s < 0:
+        raise ConfigurationError("timing constants must be non-negative")
+    for earlier, later in zip(frames, frames[1:]):
+        if later.time < earlier.time:
+            raise ConfigurationError("frames must be sorted by arrival time")
+
+    tau_of = wakelock_for_frame or (lambda _frame: wakelock_timeout_s)
+    dynamics: List[FrameDynamics] = []
+    covered_until = 0.0
+    awake_until: Optional[float] = None
+    prev_wakelock_start = 0.0
+
+    for index, frame in enumerate(frames):
+        tau = tau_of(frame)
+        if tau < 0:
+            raise ConfigurationError(f"negative wakelock timeout for frame {index}")
+        arrival = frame.rx_complete
+
+        if index == 0:
+            suspended = True
+        else:
+            assert awake_until is not None
+            # Eq. (5): the suspend op that began at awake_until finished
+            # before the frame landed.
+            suspended = arrival >= awake_until + suspend_duration_s
+
+        if suspended:
+            # Eq. (3), first case: the resume op delays the wakelock.
+            wakelock_start = arrival + resume_duration_s
+            aborted_fraction = 0.0
+            covered_until = wakelock_start  # fresh awake episode
+        else:
+            # Eq. (3), second case: delayed activation if still resuming,
+            # immediate otherwise.
+            wakelock_start = max(arrival, prev_wakelock_start)
+            assert awake_until is not None
+            gap = wakelock_start - awake_until
+            if gap > 0 and suspend_duration_s > 0:
+                # Eq. (14): the system had begun suspending at
+                # awake_until; this frame aborts it ``gap`` in.
+                aborted_fraction = min(1.0, gap / suspend_duration_s)
+            else:
+                aborted_fraction = 0.0
+
+        lock_end = wakelock_start + tau
+        increment = max(0.0, lock_end - max(wakelock_start, covered_until))
+        covered_until = max(covered_until, lock_end)
+        awake_until = max(covered_until, wakelock_start)
+
+        dynamics.append(
+            FrameDynamics(
+                event=frame,
+                suspended_on_arrival=suspended,
+                wakelock_start=wakelock_start,
+                wakelock_timeout=tau,
+                coverage_increment=increment,
+                aborted_suspend_fraction=aborted_fraction,
+                awake_until=awake_until,
+            )
+        )
+        prev_wakelock_start = wakelock_start
+
+    return dynamics

@@ -1,0 +1,105 @@
+"""Device energy profiles — the paper's Table I, measured with a Monsoon
+power monitor on a Nexus One and a Galaxy S4.
+
+Interpretation note (also in DESIGN.md): ``beacon_rx_j`` (the paper's
+E_b^u) is treated as energy per received *beacon frame* of standard
+length; read as per-byte the Table I values would imply beacon-listening
+power two orders of magnitude above the device's own receive power.
+Per-beacon, Nexus One's 1.25 mJ at a 102.4 ms beacon interval gives
+≈12 mW of beacon-listening power, which matches the E_b band of the
+paper's Figures 7-8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import mj, ms, mw
+
+
+@dataclass(frozen=True)
+class DeviceEnergyProfile:
+    """All constants the Section IV model needs for one device."""
+
+    name: str
+    #: τ — WiFi driver wakelock duration per received frame (s).
+    wakelock_timeout_s: float
+    #: T_rm — system resume operation duration (s).
+    resume_duration_s: float
+    #: T_sp — system suspend operation duration (s).
+    suspend_duration_s: float
+    #: E_rm — energy of one resume operation (J).
+    resume_energy_j: float
+    #: E_sp — energy of one (complete) suspend operation (J).
+    suspend_energy_j: float
+    #: E_b^u — energy to receive one standard beacon frame (J).
+    beacon_rx_j: float
+    #: P_r — WiFi radio receive power (W).
+    rx_power_w: float
+    #: P_t — WiFi radio transmit power (W).
+    tx_power_w: float
+    #: P_idle — WiFi radio idle-listening power (W).
+    idle_power_w: float
+    #: P_ss — whole-system suspend power (W).
+    suspend_power_w: float
+    #: P_sa — whole-system active-idle power (W).
+    active_idle_power_w: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "wakelock_timeout_s",
+            "resume_duration_s",
+            "suspend_duration_s",
+            "resume_energy_j",
+            "suspend_energy_j",
+            "beacon_rx_j",
+            "rx_power_w",
+            "tx_power_w",
+            "idle_power_w",
+            "suspend_power_w",
+            "active_idle_power_w",
+        ):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ConfigurationError(f"{field_name} must be non-negative: {value}")
+
+    def with_overrides(self, **kwargs) -> "DeviceEnergyProfile":
+        """Copy with selected constants replaced (for sensitivity studies)."""
+        return replace(self, **kwargs)
+
+
+#: Table I, row 1.
+NEXUS_ONE = DeviceEnergyProfile(
+    name="Nexus One",
+    wakelock_timeout_s=1.0,
+    resume_duration_s=ms(46),
+    suspend_duration_s=ms(86),
+    resume_energy_j=mj(18.26),
+    suspend_energy_j=mj(17.66),
+    beacon_rx_j=mj(1.25),
+    rx_power_w=mw(530),
+    tx_power_w=mw(1200),
+    idle_power_w=mw(245),
+    suspend_power_w=mw(11),
+    active_idle_power_w=mw(125),
+)
+
+#: Table I, row 2.
+GALAXY_S4 = DeviceEnergyProfile(
+    name="Galaxy S4",
+    wakelock_timeout_s=1.0,
+    resume_duration_s=ms(44),
+    suspend_duration_s=ms(165),
+    resume_energy_j=mj(58.3),
+    suspend_energy_j=mj(85.8),
+    beacon_rx_j=mj(1.71),
+    rx_power_w=mw(538),
+    tx_power_w=mw(1500),
+    idle_power_w=mw(275),
+    suspend_power_w=mw(15),
+    active_idle_power_w=mw(130),
+)
+
+#: Both Table I devices, in paper order.
+ALL_PROFILES = (NEXUS_ONE, GALAXY_S4)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the HIDE reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish encoding problems from simulation or
+configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FrameError(ReproError):
+    """A frame or packet could not be encoded or decoded."""
+
+
+class FrameDecodeError(FrameError):
+    """Raised when parsing bytes into a frame/packet fails."""
+
+
+class FrameEncodeError(FrameError):
+    """Raised when a frame/packet cannot be serialized to bytes."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """A model, generator, or experiment received invalid parameters."""
+
+
+class AssociationError(ReproError):
+    """A station operation required an association that does not exist."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file is malformed or has an unsupported version."""

@@ -1,0 +1,43 @@
+"""One module per paper table/figure, plus the headline-claims check.
+
+Every module exposes ``compute(...)`` returning a result object and
+``render(result)`` returning the printable reproduction. ``run_all``
+(in :mod:`repro.experiments.runner`) executes the lot and assembles an
+EXPERIMENTS-style report.
+"""
+
+from repro.experiments.context import EvaluationContext
+from repro.experiments import (
+    table1,
+    table2,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    headline,
+    sensitivity,
+    adoption,
+    validation,
+)
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "EvaluationContext",
+    "table1",
+    "table2",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "headline",
+    "sensitivity",
+    "adoption",
+    "validation",
+    "run_all",
+]

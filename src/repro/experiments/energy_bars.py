@@ -1,0 +1,109 @@
+"""Shared machinery for Figures 7 and 8 (per-device energy bar grids)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.energy import COMPONENT_LABELS, DeviceEnergyProfile
+from repro.experiments.context import EvaluationContext, default_context
+from repro.reporting import render_table
+from repro.solutions import SolutionResult
+
+
+@dataclass(frozen=True)
+class EnergyBar:
+    """One bar: a solution's component average powers in mW."""
+
+    label: str
+    components_mw: Tuple[float, ...]  # ordered as COMPONENT_LABELS
+
+    @property
+    def total_mw(self) -> float:
+        return sum(self.components_mw)
+
+
+@dataclass(frozen=True)
+class EnergyBarGrid:
+    """One figure: scenarios × bars."""
+
+    device: str
+    bar_labels: Tuple[str, ...]
+    scenarios: Tuple[str, ...]
+    bars: Dict[str, Tuple[EnergyBar, ...]]
+
+    def total_mw(self, scenario: str, bar_label: str) -> float:
+        for bar in self.bars[scenario]:
+            if bar.label == bar_label:
+                return bar.total_mw
+        raise KeyError(bar_label)
+
+    def hide_savings(self, scenario: str, hide_label: str) -> float:
+        """Energy saving of a HIDE bar vs receive-all, as a fraction."""
+        baseline = self.total_mw(scenario, "receive-all")
+        return 1.0 - self.total_mw(scenario, hide_label) / baseline
+
+
+def _bar_from_result(result: SolutionResult, label: str) -> EnergyBar:
+    powers = result.breakdown.component_power_w()
+    return EnergyBar(
+        label=label,
+        components_mw=tuple(powers[c] * 1e3 for c in COMPONENT_LABELS),
+    )
+
+
+def compute_grid(
+    profile: DeviceEnergyProfile, context: Optional[EvaluationContext] = None
+) -> EnergyBarGrid:
+    context = context or default_context()
+    labels = ["receive-all", "client-side"] + [
+        f"HIDE:{fraction:.0%}" for fraction in context.fractions
+    ]
+    bars: Dict[str, Tuple[EnergyBar, ...]] = {}
+    for scenario in context.scenarios:
+        results = context.energy_bars(scenario, profile)
+        bars[scenario.name] = tuple(
+            _bar_from_result(result, label)
+            for result, label in zip(results, labels)
+        )
+    return EnergyBarGrid(
+        device=profile.name,
+        bar_labels=tuple(labels),
+        scenarios=tuple(s.name for s in context.scenarios),
+        bars=bars,
+    )
+
+
+def render_grid(grid: EnergyBarGrid, figure_name: str) -> str:
+    blocks: List[str] = [
+        f"{figure_name}: energy consumption comparison ({grid.device}). "
+        "Average power in mW, broken into the Eq. (2) components."
+    ]
+    for scenario in grid.scenarios:
+        headers = ["solution"] + list(COMPONENT_LABELS) + ["total"]
+        rows = []
+        for bar in grid.bars[scenario]:
+            rows.append(
+                [bar.label]
+                + [f"{value:.1f}" for value in bar.components_mw]
+                + [f"{bar.total_mw:.1f}"]
+            )
+        blocks.append(render_table(headers, rows, title=scenario))
+    savings_rows = []
+    for scenario in grid.scenarios:
+        savings_rows.append(
+            [scenario]
+            + [
+                f"{grid.hide_savings(scenario, label) * 100:.1f}%"
+                for label in grid.bar_labels
+                if label.startswith("HIDE:")
+            ]
+        )
+    blocks.append(
+        render_table(
+            ["trace"] + [l for l in grid.bar_labels if l.startswith("HIDE:")],
+            savings_rows,
+            title="HIDE energy savings vs receive-all",
+        )
+    )
+    return "\n\n".join(blocks)

@@ -1,0 +1,83 @@
+"""Figure 10: decrease in network capacity vs HIDE deployment share."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis import CapacityAnalysis
+from repro.reporting import render_series_table
+
+STATION_COUNTS: Tuple[int, ...] = (5, 10, 20, 30, 40, 50)
+HIDE_FRACTIONS: Tuple[float, ...] = (0.05, 0.25, 0.50, 0.75)
+
+#: Paper settings: a 50-port UDP Port Message every 10 seconds.
+PORT_MESSAGE_INTERVAL_S = 10.0
+PORTS_PER_MESSAGE = 50
+
+
+@dataclass(frozen=True)
+class Figure10Result:
+    station_counts: Tuple[int, ...]
+    hide_fractions: Tuple[float, ...]
+    #: fraction -> decrease per station count (as fractions of capacity).
+    decreases: Dict[float, Tuple[float, ...]]
+    baseline_capacity_bps: Dict[int, float]
+
+
+def compute(analysis: Optional[CapacityAnalysis] = None) -> Figure10Result:
+    analysis = analysis or CapacityAnalysis()
+    decreases: Dict[float, Tuple[float, ...]] = {}
+    baselines: Dict[int, float] = {}
+    for fraction in HIDE_FRACTIONS:
+        row = []
+        for stations in STATION_COUNTS:
+            result = analysis.evaluate(
+                stations,
+                fraction,
+                port_message_interval_s=PORT_MESSAGE_INTERVAL_S,
+                ports_per_message=PORTS_PER_MESSAGE,
+            )
+            row.append(result.capacity_decrease)
+            baselines[stations] = result.baseline_capacity_bps
+        decreases[fraction] = tuple(row)
+    return Figure10Result(
+        station_counts=STATION_COUNTS,
+        hide_fractions=HIDE_FRACTIONS,
+        decreases=decreases,
+        baseline_capacity_bps=baselines,
+    )
+
+
+def render(result: Optional[Figure10Result] = None) -> str:
+    if result is None:
+        result = compute()
+    table = render_series_table(
+        "nodes",
+        list(result.station_counts),
+        {
+            f"p = {fraction:.0%}": [d * 100 for d in result.decreases[fraction]]
+            for fraction in result.hide_fractions
+        },
+        value_format="{:.3f}",
+        title=(
+            "Figure 10: decrease in network capacity (%) with different "
+            "percents of HIDE-enabled nodes"
+        ),
+    )
+    worst = max(
+        d for row in result.decreases.values() for d in row
+    )
+    note = (
+        f"Worst case: {worst * 100:.3f}% "
+        f"(paper: 0.13% with 50 nodes, p = 75%)."
+    )
+    return table + "\n" + note
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

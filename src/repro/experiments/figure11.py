@@ -1,0 +1,73 @@
+"""Figure 11: RTT increase vs UDP Port Message sending interval."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis import DelayAnalysis
+from repro.reporting import render_series_table
+
+STATION_COUNTS: Tuple[int, ...] = (5, 10, 20, 30, 40, 50)
+INTERVALS_S: Tuple[float, ...] = (10.0, 30.0, 60.0, 150.0, 300.0, 600.0)
+
+#: Paper settings for this sweep.
+OPEN_PORTS = 50
+HIDE_FRACTION = 0.5
+BUFFERED_FRAMES_PER_DTIM = 10.0
+
+
+@dataclass(frozen=True)
+class Figure11Result:
+    station_counts: Tuple[int, ...]
+    intervals_s: Tuple[float, ...]
+    #: interval -> delay increase per station count (fractions).
+    increases: Dict[float, Tuple[float, ...]]
+
+
+def compute(analysis: Optional[DelayAnalysis] = None) -> Figure11Result:
+    analysis = analysis or DelayAnalysis()
+    increases: Dict[float, Tuple[float, ...]] = {}
+    for interval in INTERVALS_S:
+        increases[interval] = tuple(
+            analysis.evaluate(
+                stations,
+                hide_fraction=HIDE_FRACTION,
+                port_message_interval_s=interval,
+                open_ports_per_client=OPEN_PORTS,
+                buffered_frames_per_dtim=BUFFERED_FRAMES_PER_DTIM,
+            ).delay_increase
+            for stations in STATION_COUNTS
+        )
+    return Figure11Result(
+        station_counts=STATION_COUNTS, intervals_s=INTERVALS_S, increases=increases
+    )
+
+
+def render(result: Optional[Figure11Result] = None) -> str:
+    if result is None:
+        result = compute()
+    table = render_series_table(
+        "nodes",
+        list(result.station_counts),
+        {
+            f"1/f = {interval:.0f}s": [d * 100 for d in result.increases[interval]]
+            for interval in result.intervals_s
+        },
+        value_format="{:.3f}",
+        title=(
+            "Figure 11: increase in network delay (%) with different sending "
+            "intervals of UDP Port Messages"
+        ),
+    )
+    worst = max(result.increases[10.0])
+    note = f"At 1/f = 10 s, 50 nodes: {worst * 100:.2f}% (paper: 2.3%)."
+    return table + "\n" + note
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

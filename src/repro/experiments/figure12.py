@@ -1,0 +1,73 @@
+"""Figure 12: RTT increase vs number of open UDP ports per client."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis import DelayAnalysis
+from repro.reporting import render_series_table
+
+STATION_COUNTS: Tuple[int, ...] = (5, 10, 20, 30, 40, 50)
+PORT_COUNTS: Tuple[int, ...] = (100, 50, 20, 10)  # paper legend order
+
+#: Paper settings for this sweep.
+PORT_MESSAGE_INTERVAL_S = 30.0
+HIDE_FRACTION = 0.5
+BUFFERED_FRAMES_PER_DTIM = 10.0
+
+
+@dataclass(frozen=True)
+class Figure12Result:
+    station_counts: Tuple[int, ...]
+    port_counts: Tuple[int, ...]
+    #: open-port count -> delay increase per station count (fractions).
+    increases: Dict[int, Tuple[float, ...]]
+
+
+def compute(analysis: Optional[DelayAnalysis] = None) -> Figure12Result:
+    analysis = analysis or DelayAnalysis()
+    increases: Dict[int, Tuple[float, ...]] = {}
+    for ports in PORT_COUNTS:
+        increases[ports] = tuple(
+            analysis.evaluate(
+                stations,
+                hide_fraction=HIDE_FRACTION,
+                port_message_interval_s=PORT_MESSAGE_INTERVAL_S,
+                open_ports_per_client=ports,
+                buffered_frames_per_dtim=BUFFERED_FRAMES_PER_DTIM,
+            ).delay_increase
+            for stations in STATION_COUNTS
+        )
+    return Figure12Result(
+        station_counts=STATION_COUNTS, port_counts=PORT_COUNTS, increases=increases
+    )
+
+
+def render(result: Optional[Figure12Result] = None) -> str:
+    if result is None:
+        result = compute()
+    table = render_series_table(
+        "nodes",
+        list(result.station_counts),
+        {
+            f"no = {ports}": [d * 100 for d in result.increases[ports]]
+            for ports in result.port_counts
+        },
+        value_format="{:.3f}",
+        title=(
+            "Figure 12: increase in network delay (%) with different numbers "
+            "of UDP ports in use"
+        ),
+    )
+    worst = max(result.increases[100])
+    note = f"At no = 100, 50 nodes: {worst * 100:.2f}% (paper: < 1.6%)."
+    return table + "\n" + note
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Figure 6: CDFs of broadcast traffic volume (frames/s) per scenario."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.context import EvaluationContext, default_context
+from repro.reporting import render_cdf, render_series_table
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Per-scenario CDF points and means."""
+
+    cdf_points: Dict[str, Tuple[Tuple[float, float], ...]]
+    means: Dict[str, float]
+    sample_grid: Tuple[int, ...]
+    cdf_at_grid: Dict[str, Tuple[float, ...]]
+
+
+def compute(context: Optional[EvaluationContext] = None) -> Figure6Result:
+    context = context or default_context()
+    grid = tuple(range(0, 51, 5))
+    cdf_points: Dict[str, Tuple[Tuple[float, float], ...]] = {}
+    means: Dict[str, float] = {}
+    cdf_at_grid: Dict[str, Tuple[float, ...]] = {}
+    for scenario in context.scenarios:
+        cdf = context.trace(scenario).volume_cdf()
+        cdf_points[scenario.name] = tuple(cdf.points())
+        means[scenario.name] = cdf.mean
+        cdf_at_grid[scenario.name] = tuple(cdf.evaluate(x) for x in grid)
+    return Figure6Result(
+        cdf_points=cdf_points,
+        means=means,
+        sample_grid=grid,
+        cdf_at_grid=cdf_at_grid,
+    )
+
+
+def render(result: Optional[Figure6Result] = None) -> str:
+    if result is None:
+        result = compute()
+    blocks: List[str] = [
+        "Figure 6: broadcast traffic volumes in traces "
+        "(CDF of UDP-padded broadcast frames per second)"
+    ]
+    blocks.append(
+        render_series_table(
+            "frames/s",
+            list(result.sample_grid),
+            {name: list(values) for name, values in result.cdf_at_grid.items()},
+            title="Empirical CDF values",
+        )
+    )
+    mean_lines = [
+        f"  {name}: mean = {mean:.2f} frames/s" for name, mean in result.means.items()
+    ]
+    blocks.append("Trace means (the black squares in the paper):\n" + "\n".join(mean_lines))
+    for name, points in result.cdf_points.items():
+        blocks.append(render_cdf(points, title=f"{name}", x_max=50))
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Figure 8: energy consumption comparison on the Galaxy S4."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.energy import GALAXY_S4
+from repro.experiments.context import EvaluationContext
+from repro.experiments.energy_bars import EnergyBarGrid, compute_grid, render_grid
+
+
+def compute(context: Optional[EvaluationContext] = None) -> EnergyBarGrid:
+    return compute_grid(GALAXY_S4, context)
+
+
+def render(grid: Optional[EnergyBarGrid] = None) -> str:
+    if grid is None:
+        grid = compute()
+    return render_grid(grid, "Figure 8")
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

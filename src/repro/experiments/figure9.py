@@ -1,0 +1,87 @@
+"""Figure 9: fraction of time in suspend mode (Nexus One)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.energy import DeviceEnergyProfile, NEXUS_ONE
+from repro.experiments.context import EvaluationContext, default_context
+from repro.reporting import render_bar_chart, render_series_table
+from repro.solutions import ClientSideSolution, HideSolution, ReceiveAllSolution
+
+#: Paper order of the four bars per trace.
+SOLUTION_LABELS = ("receive-all", "client-side", "HIDE:10%", "HIDE:2%")
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    device: str
+    scenarios: Tuple[str, ...]
+    #: scenario -> fractions in SOLUTION_LABELS order.
+    suspend_fractions: Dict[str, Tuple[float, ...]]
+
+
+def compute(
+    context: Optional[EvaluationContext] = None,
+    profile: DeviceEnergyProfile = NEXUS_ONE,
+) -> Figure9Result:
+    context = context or default_context()
+    fractions: Dict[str, Tuple[float, ...]] = {}
+    for scenario in context.scenarios:
+        receive_all = context.solution_result(
+            ReceiveAllSolution(), scenario, 0.10, profile
+        )
+        client_side = context.solution_result(
+            ClientSideSolution(), scenario, 0.10, profile
+        )
+        hide10 = context.solution_result(HideSolution(), scenario, 0.10, profile)
+        hide2 = context.solution_result(HideSolution(), scenario, 0.02, profile)
+        fractions[scenario.name] = (
+            receive_all.suspend_fraction,
+            client_side.suspend_fraction,
+            hide10.suspend_fraction,
+            hide2.suspend_fraction,
+        )
+    return Figure9Result(
+        device=profile.name,
+        scenarios=tuple(s.name for s in context.scenarios),
+        suspend_fractions=fractions,
+    )
+
+
+def render(result: Optional[Figure9Result] = None) -> str:
+    if result is None:
+        result = compute()
+    blocks = [
+        f"Figure 9: fraction of time in suspend mode ({result.device})",
+        render_series_table(
+            "trace",
+            list(result.scenarios),
+            {
+                label: [
+                    result.suspend_fractions[s][index] for s in result.scenarios
+                ]
+                for index, label in enumerate(SOLUTION_LABELS)
+            },
+        ),
+    ]
+    for scenario in result.scenarios:
+        blocks.append(
+            render_bar_chart(
+                list(SOLUTION_LABELS),
+                [f * 100 for f in result.suspend_fractions[scenario]],
+                title=scenario,
+                unit="%",
+                max_value=100.0,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Run every experiment and assemble one report."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments import (
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    headline,
+    sensitivity,
+    table1,
+    table2,
+)
+from repro.experiments.context import EvaluationContext, default_context
+
+_RULE = "=" * 72
+
+
+def run_all(context: Optional[EvaluationContext] = None) -> str:
+    """Execute all table/figure reproductions; return the full report."""
+    context = context or default_context()
+    sections: List[str] = []
+    sections.append(table1.render())
+    sections.append(table2.render())
+    sections.append(figure6.render(figure6.compute(context)))
+    sections.append(figure7.render(figure7.compute(context)))
+    sections.append(figure8.render(figure8.compute(context)))
+    sections.append(figure9.render(figure9.compute(context)))
+    sections.append(figure10.render())
+    sections.append(figure11.render())
+    sections.append(figure12.render())
+    sections.append(headline.render(headline.compute(context)))
+    sections.append(sensitivity.render(sensitivity.compute(context)))
+    return ("\n" + _RULE + "\n").join(sections)
+
+
+def main() -> None:
+    print(run_all())
+
+
+if __name__ == "__main__":
+    main()

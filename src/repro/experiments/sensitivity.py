@@ -1,0 +1,110 @@
+"""Sensitivity report: the design-space neighbourhood of the paper's
+fixed operating points (not a paper figure; an extension)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.sensitivity import (
+    DtimSweepPoint,
+    ReportIntervalPoint,
+    TauSweepPoint,
+    sweep_dtim_period,
+    sweep_report_interval,
+    sweep_wakelock_timeout,
+)
+from repro.energy.profile import NEXUS_ONE
+from repro.experiments.context import EvaluationContext, default_context
+from repro.reporting import render_table
+from repro.traces.scenarios import scenario_by_name
+
+TAU_SWEEP_S: Tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)
+DTIM_SWEEP: Tuple[int, ...] = (1, 2, 3)
+INTERVAL_SWEEP_S: Tuple[float, ...] = (5.0, 10.0, 30.0, 60.0, 300.0, 600.0)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    tau_points: Tuple[TauSweepPoint, ...]
+    dtim_points: Tuple[DtimSweepPoint, ...]
+    interval_points: Tuple[ReportIntervalPoint, ...]
+
+
+def compute(context: Optional[EvaluationContext] = None) -> SensitivityResult:
+    context = context or default_context()
+    scenario = scenario_by_name("CS_Dept")
+    trace = context.trace(scenario)
+    mask = context.mask(scenario, 0.10)
+    return SensitivityResult(
+        tau_points=tuple(
+            sweep_wakelock_timeout(trace, mask, NEXUS_ONE, TAU_SWEEP_S)
+        ),
+        dtim_points=tuple(
+            sweep_dtim_period(
+                scenario_by_name("Starbucks"), NEXUS_ONE, 0.10, DTIM_SWEEP
+            )
+        ),
+        interval_points=tuple(
+            sweep_report_interval(NEXUS_ONE, INTERVAL_SWEEP_S)
+        ),
+    )
+
+
+def render(result: Optional[SensitivityResult] = None) -> str:
+    if result is None:
+        result = compute()
+    blocks: List[str] = ["Sensitivity analyses (extension; not a paper figure)"]
+    blocks.append(
+        render_table(
+            ["tau (s)", "receive-all mW", "HIDE mW", "saving"],
+            [
+                [
+                    f"{p.wakelock_timeout_s:g}",
+                    f"{p.receive_all.average_power_mw:.1f}",
+                    f"{p.hide.average_power_mw:.1f}",
+                    f"{p.saving:.1%}",
+                ]
+                for p in result.tau_points
+            ],
+            title="Wakelock timeout sweep (CS_Dept @ 10% useful, Nexus One)",
+        )
+    )
+    blocks.append(
+        render_table(
+            ["DTIM period", "receive-all mW", "HIDE mW", "saving"],
+            [
+                [
+                    str(p.dtim_period),
+                    f"{p.receive_all.average_power_mw:.1f}",
+                    f"{p.hide.average_power_mw:.1f}",
+                    f"{p.saving:.1%}",
+                ]
+                for p in result.dtim_points
+            ],
+            title="DTIM period sweep (Starbucks @ 10% useful, Nexus One)",
+        )
+    )
+    blocks.append(
+        render_table(
+            ["1/f (s)", "client overhead (mW)", "RTT increase"],
+            [
+                [
+                    f"{p.interval_s:g}",
+                    f"{p.overhead_power_w * 1e3:.3f}",
+                    f"{p.delay_increase:.2%}",
+                ]
+                for p in result.interval_points
+            ],
+            title="UDP Port Message interval trade-off",
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

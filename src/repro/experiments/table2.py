@@ -1,0 +1,39 @@
+"""Table II: the 802.11b network configuration (analysis inputs)."""
+
+from __future__ import annotations
+
+from repro.analysis.netconfig import DOT11B_CONFIG, NetworkConfig
+from repro.reporting import render_table
+
+
+def compute(config: NetworkConfig = DOT11B_CONFIG):
+    return [
+        ["min contention window", str(config.cw_min)],
+        ["max contention window", str(config.cw_max)],
+        ["slot time", f"{config.slot_time_s * 1e6:.0f} us"],
+        ["SIFS", f"{config.sifs_s * 1e6:.0f} us"],
+        ["DIFS", f"{config.difs_s * 1e6:.0f} us"],
+        ["propagation delay", f"{config.propagation_delay_s * 1e6:.0f} us"],
+        ["channel data rate", f"{config.channel_rate_bps / 1e6:.0f} Mbits/s"],
+        ["MAC header", f"{config.mac_header_bits} bits"],
+        ["PHY preamble + header", f"{config.phy_overhead_bits} bits"],
+        ["average data payload size", f"{config.payload_bits} bits"],
+    ]
+
+
+def render(rows=None) -> str:
+    if rows is None:
+        rows = compute()
+    return render_table(
+        ["parameter", "value"],
+        rows,
+        title="Table II: network configuration for overhead analysis",
+    )
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""IPv4/UDP packet substrate.
+
+The HIDE AP differentiates broadcast traffic by *destination UDP port*,
+which it must dig out of real packet bytes: 802.11 body → LLC/SNAP →
+IPv4 header (variable length!) → UDP header. This package builds and
+parses those bytes, including header checksums.
+"""
+
+from repro.net.ipv4 import Ipv4Address, Ipv4Header, IPPROTO_UDP, IP_BROADCAST
+from repro.net.udp import UdpHeader, build_udp_datagram, parse_udp_datagram
+from repro.net.packet import (
+    build_broadcast_udp_packet,
+    extract_udp_dst_port,
+    extract_udp_dst_port_from_dot11_body,
+)
+from repro.net.ports import (
+    ServicePort,
+    WELL_KNOWN_BROADCAST_SERVICES,
+    service_for_port,
+)
+
+__all__ = [
+    "Ipv4Address",
+    "Ipv4Header",
+    "IPPROTO_UDP",
+    "IP_BROADCAST",
+    "UdpHeader",
+    "build_udp_datagram",
+    "parse_udp_datagram",
+    "build_broadcast_udp_packet",
+    "extract_udp_dst_port",
+    "extract_udp_dst_port_from_dot11_body",
+    "ServicePort",
+    "WELL_KNOWN_BROADCAST_SERVICES",
+    "service_for_port",
+]

@@ -1,0 +1,6 @@
+"""Plain-text rendering of tables and charts for experiment output."""
+
+from repro.reporting.table import render_table
+from repro.reporting.chart import render_bar_chart, render_series_table, render_cdf
+
+__all__ = ["render_table", "render_bar_chart", "render_series_table", "render_cdf"]

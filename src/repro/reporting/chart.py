@@ -1,0 +1,96 @@
+"""Plain-text charts: horizontal bars, multi-series tables, CDF plots."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_BAR_CHAR = "#"
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: Optional[str] = None,
+    unit: str = "",
+    width: int = 50,
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart: one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title or ""
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar_length = int(round(width * max(0.0, value) / top))
+        bar = _BAR_CHAR * bar_length
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    value_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series data as a table: one row per x, one column per series."""
+    from repro.reporting.table import render_table
+
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length != x length")
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [value_format.format(series[name][index]) for name in series]
+        for index, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def render_cdf(
+    points: Sequence[Tuple[float, float]],
+    title: Optional[str] = None,
+    width: int = 60,
+    height: int = 12,
+    x_max: Optional[float] = None,
+) -> str:
+    """A coarse ASCII plot of a CDF step function."""
+    if not points:
+        return title or ""
+    top_x = x_max if x_max is not None else points[-1][0]
+    if top_x <= 0:
+        top_x = 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def probe(x: float) -> float:
+        # Step function: greatest point with px <= x.
+        best = 0.0
+        for px, py in points:
+            if px <= x:
+                best = py
+            else:
+                break
+        return best
+
+    for column in range(width):
+        x = top_x * column / (width - 1) if width > 1 else 0.0
+        y = probe(x)
+        row = height - 1 - int(round(y * (height - 1)))
+        grid[row][column] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        y_value = 1.0 - index / (height - 1)
+        lines.append(f"{y_value:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      0{' ' * (width - 8)}{top_x:.0f} (x)")
+    return "\n".join(lines)

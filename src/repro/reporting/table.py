@@ -1,0 +1,61 @@
+"""Aligned plain-text tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a monospace table with a header rule.
+
+    Cells are stringified; numeric cells are right-aligned, text cells
+    left-aligned.
+    """
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    numeric = [
+        all(_is_numeric(row[index]) for row in text_rows) if text_rows else False
+        for index in range(columns)
+    ]
+
+    def format_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index]:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.strip().rstrip("%x").replace(",", "")
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,149 @@
+"""The event loop: a monotonic clock over a binary heap of callbacks."""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancel().
+
+    Cancellation is lazy: the heap entry stays but is skipped when
+    popped, which keeps scheduling O(log n).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Events at equal times fire in (priority, insertion order). Lower
+    priority values fire first; the default priority is 0.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = 0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite: {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        event = _ScheduledEvent(time, priority, self._sequence, callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap yielded a past event")
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Run until the heap drains or the clock passes ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` at the end even if the last event fired earlier, so
+        measures normalized by elapsed time are well-defined.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap:
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway schedule?"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def _peek(self) -> Optional[_ScheduledEvent]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None

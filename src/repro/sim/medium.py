@@ -1,0 +1,162 @@
+"""A shared half-duplex broadcast medium.
+
+Models the single 2.4 GHz channel all stations and the AP share:
+transmissions occupy the channel for PHY overhead + payload airtime and
+are delivered to every *other* attached entity when they end. If the
+channel is busy, new transmissions queue FIFO behind it (a simplified
+stand-in for CSMA/CA deferral — contention and collisions are modelled
+analytically by :mod:`repro.analysis.bianchi`, as in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, List, Optional
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity
+from repro.units import us
+
+#: 802.11b long-preamble PHY overhead: 192 bits at 1 Mb/s = 192 µs.
+PHY_OVERHEAD_S = us(192)
+
+#: One-microsecond propagation delay (paper Table II).
+PROPAGATION_DELAY_S = us(1)
+
+#: Short interframe space, used between a frame and its ACK.
+SIFS_S = us(10)
+
+#: DCF interframe space, the idle gap before a fresh transmission.
+DIFS_S = us(50)
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One frame in flight: the decoded object plus on-air accounting."""
+
+    sender: Entity
+    frame: Any
+    frame_bytes: bytes
+    rate_bps: float
+    start_time: float
+    airtime: float
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.airtime
+
+    @property
+    def length_bytes(self) -> int:
+        return len(self.frame_bytes)
+
+
+class Medium:
+    """The shared channel. Entities attach; transmit() queues and delivers."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        phy_overhead_s: float = PHY_OVERHEAD_S,
+        propagation_delay_s: float = PROPAGATION_DELAY_S,
+        loss_probability: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        """``loss_probability`` drops each non-beacon frame independently
+        with that probability (failure injection for retransmission
+        tests); beacons are exempt so the PS schedule stays alive, which
+        matches reality where beacons at the base rate are by far the
+        most robust frames on the air."""
+        if not 0.0 <= loss_probability < 1.0:
+            raise SimulationError(
+                f"loss probability must be in [0, 1): {loss_probability}"
+            )
+        self._simulator = simulator
+        self._entities: List[Entity] = []
+        self._phy_overhead_s = phy_overhead_s
+        self._propagation_delay_s = propagation_delay_s
+        self._busy_until = 0.0
+        self._pending: Deque = deque()
+        self._transmissions_completed = 0
+        self._busy_time_accum = 0.0
+        self._loss_probability = loss_probability
+        self._loss_rng = random.Random(loss_seed)
+        self._frames_dropped = 0
+
+    @property
+    def transmissions_completed(self) -> int:
+        return self._transmissions_completed
+
+    @property
+    def busy_time(self) -> float:
+        """Total channel-occupancy seconds accumulated so far."""
+        return self._busy_time_accum
+
+    @property
+    def frames_dropped(self) -> int:
+        return self._frames_dropped
+
+    def attach(self, entity: Entity) -> None:
+        if entity in self._entities:
+            raise SimulationError(f"{entity!r} already attached to medium")
+        self._entities.append(entity)
+        entity.attach(self._simulator)
+
+    def airtime_of(self, length_bytes: int, rate_bps: float) -> float:
+        """Channel occupancy of one frame: PHY preamble + payload bits."""
+        if rate_bps <= 0:
+            raise SimulationError(f"rate must be positive: {rate_bps}")
+        return self._phy_overhead_s + (length_bytes * 8) / rate_bps
+
+    def transmit(
+        self,
+        sender: Entity,
+        frame: Any,
+        frame_bytes: bytes,
+        rate_bps: float,
+        gap_s: float = DIFS_S,
+        on_complete: Optional[Callable[[Transmission], None]] = None,
+    ) -> None:
+        """Queue a frame for transmission.
+
+        The frame starts after the channel is idle plus ``gap_s`` (DIFS
+        for fresh frames, SIFS for ACK-class responses) and is delivered
+        to every attached entity except the sender at its end time plus
+        propagation delay.
+        """
+        airtime = self.airtime_of(len(frame_bytes), rate_bps)
+        now = self._simulator.now
+        start = max(now, self._busy_until) + gap_s
+        transmission = Transmission(
+            sender=sender,
+            frame=frame,
+            frame_bytes=frame_bytes,
+            rate_bps=rate_bps,
+            start_time=start,
+            airtime=airtime,
+        )
+        self._busy_until = start + airtime
+        self._busy_time_accum += airtime
+        deliver_at = transmission.end_time + self._propagation_delay_s
+
+        def _deliver() -> None:
+            self._transmissions_completed += 1
+            if self._loss_probability > 0.0 and not _is_beacon(frame):
+                if self._loss_rng.random() < self._loss_probability:
+                    self._frames_dropped += 1
+                    return  # frame corrupted on air: nobody decodes it
+            for entity in list(self._entities):
+                if entity is not sender:
+                    entity.on_receive(transmission)
+            if on_complete is not None:
+                on_complete(transmission)
+
+        self._simulator.schedule_at(deliver_at, _deliver)
+
+
+def _is_beacon(frame: Any) -> bool:
+    from repro.dot11.management import Beacon
+
+    return isinstance(frame, Beacon)

@@ -1,0 +1,27 @@
+"""The compared solutions (paper §VI-A.1) behind one interface.
+
+* :class:`ReceiveAllSolution` — the stock smartphone baseline.
+* :class:`ClientSideSolution` — driver-level filtering, the lower bound
+  of [6] the paper compares against.
+* :class:`HideSolution` — the paper's system under its Eq. (1)
+  idealization: the client receives exactly the useful frames.
+* :class:`HideRealisticSolution` — burst-granularity HIDE: when the
+  BTIM bit is set the radio receives the whole DTIM burst (ablation).
+* :class:`CombinedSolution` — HIDE + client-side filtering inside
+  received bursts (the paper's future-work direction).
+"""
+
+from repro.solutions.base import Solution, SolutionResult
+from repro.solutions.receive_all import ReceiveAllSolution
+from repro.solutions.client_side import ClientSideSolution
+from repro.solutions.hide import HideSolution, HideRealisticSolution, CombinedSolution
+
+__all__ = [
+    "Solution",
+    "SolutionResult",
+    "ReceiveAllSolution",
+    "ClientSideSolution",
+    "HideSolution",
+    "HideRealisticSolution",
+    "CombinedSolution",
+]

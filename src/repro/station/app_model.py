@@ -1,0 +1,115 @@
+"""Application activity: the processes behind the open UDP ports.
+
+The paper's §III-B argues port-set changes are safe because any app
+opening or closing a socket necessarily happens while the system is
+active, and the *next* suspend entry re-reports the fresh set. This
+module models that app layer: named apps own port sets and start/stop
+on a schedule, driving the client's socket table — which is exactly
+what the UDP Port Message machinery must track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.station.client import Client
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One application and the broadcast ports it listens on."""
+
+    name: str
+    ports: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ports", frozenset(self.ports))
+        if not self.name:
+            raise ConfigurationError("app needs a name")
+        for port in self.ports:
+            if not 0 < port <= 0xFFFF:
+                raise ConfigurationError(f"port out of range: {port}")
+
+
+#: Apps a real phone might run, with their well-known discovery ports.
+COMMON_APPS: Tuple[AppProfile, ...] = (
+    AppProfile("chromecast-sender", frozenset({5353})),
+    AppProfile("dlna-player", frozenset({1900})),
+    AppProfile("dropbox", frozenset({17500})),
+    AppProfile("spotify", frozenset({57621, 5353})),
+    AppProfile("file-share", frozenset({137, 138})),
+)
+
+
+class AppScheduler:
+    """Starts/stops apps on a client at scheduled times.
+
+    Overlapping port ownership is reference-counted: a port closes only
+    when the last app using it stops (matching OS socket semantics
+    closely enough for this model — distinct apps would really hold
+    distinct sockets, but the *reportable set* behaves identically).
+    """
+
+    def __init__(self, client: Client) -> None:
+        self.client = client
+        self._running: Dict[str, AppProfile] = {}
+        self._port_refs: Dict[int, int] = {}
+        self.events: List[Tuple[float, str, str]] = []
+
+    @property
+    def running_apps(self) -> FrozenSet[str]:
+        return frozenset(self._running)
+
+    def start_app(self, app: AppProfile) -> None:
+        if app.name in self._running:
+            raise ConfigurationError(f"app already running: {app.name}")
+        self._running[app.name] = app
+        for port in app.ports:
+            count = self._port_refs.get(port, 0)
+            if count == 0:
+                self.client.open_port(port, owner=app.name)
+            self._port_refs[port] = count + 1
+        self.events.append((self.client.now, "start", app.name))
+
+    def stop_app(self, name: str) -> None:
+        app = self._running.pop(name, None)
+        if app is None:
+            raise ConfigurationError(f"app not running: {name}")
+        for port in app.ports:
+            self._port_refs[port] -= 1
+            if self._port_refs[port] == 0:
+                del self._port_refs[port]
+                self.client.close_port(port)
+        self.events.append((self.client.now, "stop", name))
+
+    def schedule(self, time_s: float, action: str, app: AppProfile) -> None:
+        """Queue a start/stop on the client's simulator.
+
+        A scheduled app event first wakes the system (launching or
+        killing an app is user/system activity — the paper's §III-B
+        premise that port changes only happen in active mode), performs
+        the socket change once active, and lets the normal suspend path
+        send the refreshed UDP Port Message afterwards.
+        """
+        if action == "start":
+            perform = lambda: self.start_app(app)  # noqa: E731
+        elif action == "stop":
+            perform = lambda: self.stop_app(app.name)  # noqa: E731
+        else:
+            raise ConfigurationError(f"unknown action: {action!r}")
+
+        def wake_then_perform() -> None:
+            assert self.client.power is not None
+            self.client.power.request_wake()
+
+            def perform_and_resettle() -> None:
+                perform()
+                # Nothing may hold the system awake after the change;
+                # nudge the suspend path (no-op if a wakelock is held).
+                self.client._suspend_if_idle()
+
+            self.client.power.when_active(perform_and_resettle)
+
+        self.client.simulator.schedule_at(time_s, wake_then_perform)

@@ -1,0 +1,426 @@
+"""The smartphone client entity for the DES.
+
+One class implements all three compared behaviours via
+:class:`ClientPolicy`:
+
+* ``RECEIVE_ALL`` — the stock smartphone: wakes and holds a τ wakelock
+  for every broadcast frame it receives.
+* ``CLIENT_SIDE`` — driver-level filtering ([6]): receives every frame,
+  but for useless ones drops the frame in the driver and returns to
+  suspend immediately (no τ hold) — the lower bound the paper compares
+  against.
+* ``HIDE`` — the paper's system: reports open UDP ports to the AP
+  before suspending, then wakes only when its BTIM bit is set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ap.flags import frame_udp_port
+from repro.dot11.control import Ack, PsPoll
+from repro.dot11.data import DataFrame
+from repro.dot11.management import Beacon, UdpPortMessage
+from repro.dot11.mac_address import MacAddress
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import EventHandle
+from repro.sim.entity import Entity
+from repro.sim.medium import Medium, Transmission
+from repro.station.power import PowerState, PowerStateMachine
+from repro.station.udp_sockets import UdpSocketTable
+from repro.station.wakelock import WakelockManager
+from repro.units import mbps, ms
+
+
+class ClientPolicy(enum.Enum):
+    RECEIVE_ALL = "receive-all"
+    CLIENT_SIDE = "client-side"
+    HIDE = "hide"
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Per-device timing parameters (defaults are Nexus One, Table I)."""
+
+    wakelock_timeout_s: float = 1.0
+    resume_duration_s: float = 46e-3
+    suspend_duration_s: float = 86e-3
+    policy: ClientPolicy = ClientPolicy.HIDE
+    #: Rate used for UDP Port Messages: the paper sends them at the
+    #: lowest basic rate, 1 Mb/s.
+    management_rate_bps: float = mbps(1)
+    #: How long to wait for the AP's ACK before retransmitting.
+    ack_timeout_s: float = ms(20)
+    max_port_message_retries: int = 7
+
+    def __post_init__(self) -> None:
+        if self.wakelock_timeout_s < 0:
+            raise ConfigurationError("wakelock timeout must be non-negative")
+        if self.ack_timeout_s <= 0:
+            raise ConfigurationError("ACK timeout must be positive")
+        if self.max_port_message_retries < 0:
+            raise ConfigurationError("retry count must be non-negative")
+
+
+@dataclass
+class ClientCounters:
+    beacons_received: int = 0
+    dtims_received: int = 0
+    broadcast_frames_received: int = 0
+    broadcast_frames_ignored: int = 0
+    useful_frames_received: int = 0
+    useless_frames_received: int = 0
+    frames_delivered_to_apps: int = 0
+    port_messages_sent: int = 0
+    port_message_retransmissions: int = 0
+    port_message_bytes_sent: int = 0
+    acks_received: int = 0
+    ps_polls_sent: int = 0
+    unicast_frames_received: int = 0
+    association_requests_sent: int = 0
+    associations_completed: int = 0
+    probe_requests_sent: int = 0
+    probe_responses_received: int = 0
+
+
+class Client(Entity):
+    """A smartphone station attached to the simulated medium."""
+
+    def __init__(
+        self,
+        mac: MacAddress,
+        medium: Medium,
+        bssid: MacAddress,
+        config: Optional[ClientConfig] = None,
+    ) -> None:
+        super().__init__(name=f"sta-{mac}")
+        self.mac = mac
+        self.bssid = bssid
+        self._medium = medium
+        self.config = config or ClientConfig()
+        self.sockets = UdpSocketTable()
+        self.counters = ClientCounters()
+        self.aid: Optional[int] = None
+        self.power: Optional[PowerStateMachine] = None
+        self.wakelock: Optional[WakelockManager] = None
+        self._radio_listening = False
+        self._ack_pending = False
+        self._retransmit_event: Optional[EventHandle] = None
+        self._association_retry_event: Optional[EventHandle] = None
+        self._scan_results = None
+        self._retries_left = 0
+        self._report_sequence = 0
+        self._frame_sequence = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def on_attach(self) -> None:
+        # The phone boots awake; the suspend path (including the first
+        # UDP Port Message for HIDE clients) runs once attached.
+        self.power = PowerStateMachine(
+            self.simulator,
+            resume_duration_s=self.config.resume_duration_s,
+            suspend_duration_s=self.config.suspend_duration_s,
+            initial_state=PowerState.ACTIVE,
+        )
+        self.wakelock = WakelockManager(
+            self.simulator,
+            timeout_s=self.config.wakelock_timeout_s,
+            on_expire=self._on_wakelock_expired,
+        )
+        self.simulator.schedule(0.0, self._try_enter_suspend)
+
+    def set_aid(self, aid: int) -> None:
+        """Record the AID granted at association time."""
+        self.aid = aid
+
+    def scan(
+        self,
+        on_complete,
+        dwell_s: float = 0.05,
+        ssid: str = "",
+    ) -> None:
+        """Active scan: probe, collect responses for ``dwell_s``, then
+        call ``on_complete(results)`` with the discovered BSSs.
+
+        Each result is a :class:`~repro.dot11.probe_frames.ProbeResponse`
+        — check ``hide_supported`` to pick a HIDE-capable AP.
+        """
+        from repro.dot11.probe_frames import ProbeRequest
+
+        request = ProbeRequest(
+            source=self.mac, ssid=ssid, sequence=self._next_sequence()
+        )
+        self.counters.probe_requests_sent += 1
+        self._scan_results = []
+        self._medium.transmit(
+            self, request, request.to_bytes(), self.config.management_rate_bps
+        )
+
+        def finish() -> None:
+            results, self._scan_results = self._scan_results, None
+            on_complete(results or [])
+
+        self.simulator.schedule(dwell_s, finish)
+
+    def leave_bss(self, reason: int = 8) -> None:
+        """Send a Disassociation and forget the association.
+
+        The AP drops this client's rows from the Client UDP Port Table,
+        so a later re-association starts clean.
+        """
+        from repro.dot11.disassociation import Disassociation
+
+        if self.aid is None:
+            return
+        frame = Disassociation(
+            source=self.mac,
+            destination=self.bssid,
+            bssid=self.bssid,
+            reason=reason,
+            sequence=self._next_sequence(),
+        )
+        self._medium.transmit(
+            self, frame, frame.to_bytes(), self.config.management_rate_bps
+        )
+        self.aid = None
+
+    def request_association(self, ssid: str = "hide-net") -> None:
+        """Run the association handshake over the air.
+
+        Sends an Association Request (declaring HIDE support — and
+        pre-loading the current port set — when the policy is HIDE) and
+        retries on timeout; the AID arrives in the response. The
+        programmatic alternative (``ap.associate`` + ``set_aid``)
+        remains available for tests and analytic setups.
+        """
+        from repro.dot11.association_frames import AssociationRequest
+
+        if self.aid is not None:
+            return
+        hide = self.config.policy is ClientPolicy.HIDE
+        request = AssociationRequest(
+            source=self.mac,
+            bssid=self.bssid,
+            ssid=ssid,
+            hide_capable=hide,
+            initial_ports=self.sockets.reportable_ports() if hide else frozenset(),
+            sequence=self._next_sequence(),
+        )
+        self.counters.association_requests_sent += 1
+        self._medium.transmit(
+            self, request, request.to_bytes(), self.config.management_rate_bps
+        )
+        self._association_retry_event = self.simulator.schedule(
+            self.config.ack_timeout_s * 4, lambda: self._retry_association(ssid)
+        )
+
+    def _retry_association(self, ssid: str) -> None:
+        self._association_retry_event = None
+        if self.aid is None:
+            self.request_association(ssid)
+
+    def _handle_association_response(self, response) -> None:
+        if response.destination != self.mac or response.bssid != self.bssid:
+            return
+        if self._association_retry_event is not None:
+            self._association_retry_event.cancel()
+            self._association_retry_event = None
+        if response.success:
+            self.aid = response.aid
+            self.counters.associations_completed += 1
+
+    def open_port(self, port: int, inaddr_any: bool = True, owner: str = "app") -> None:
+        self.sockets.open_port(port, inaddr_any=inaddr_any, owner=owner)
+
+    def close_port(self, port: int) -> None:
+        self.sockets.close_port(port)
+
+    # -- suspend entry (paper Figure 2, steps 1-3) -----------------------
+
+    def _try_enter_suspend(self) -> None:
+        assert self.power is not None and self.wakelock is not None
+        if self.power.state is not PowerState.ACTIVE or self.wakelock.held:
+            return
+        if self.config.policy is ClientPolicy.HIDE:
+            self._send_port_message(first_attempt=True)
+        else:
+            self.power.request_suspend()
+
+    def _send_port_message(self, first_attempt: bool) -> None:
+        if first_attempt:
+            self._report_sequence = (self._report_sequence + 1) & 0xFFFF
+            self._retries_left = self.config.max_port_message_retries
+        message = UdpPortMessage(
+            source=self.mac,
+            bssid=self.bssid,
+            ports=self.sockets.reportable_ports(),
+            report_sequence=self._report_sequence,
+            sequence=self._next_sequence(),
+        )
+        frame_bytes = message.to_bytes()
+        self.counters.port_messages_sent += 1
+        if not first_attempt:
+            self.counters.port_message_retransmissions += 1
+        self.counters.port_message_bytes_sent += len(frame_bytes)
+        self._ack_pending = True
+        self._medium.transmit(
+            self, message, frame_bytes, self.config.management_rate_bps
+        )
+        self._retransmit_event = self.simulator.schedule(
+            self.config.ack_timeout_s, self._on_ack_timeout
+        )
+
+    def _on_ack_timeout(self) -> None:
+        self._retransmit_event = None
+        if not self._ack_pending:
+            return
+        if self._retries_left <= 0:
+            # Give up; suspend anyway with possibly stale AP state. The
+            # AP keeps the previous report, which is the safe direction
+            # (at worst extra wake-ups, never missed useful frames).
+            self._ack_pending = False
+            self._complete_suspend_entry()
+            return
+        self._retries_left -= 1
+        self._send_port_message(first_attempt=False)
+
+    def _on_ack(self) -> None:
+        if not self._ack_pending:
+            return
+        self.counters.acks_received += 1
+        self._ack_pending = False
+        if self._retransmit_event is not None:
+            self._retransmit_event.cancel()
+            self._retransmit_event = None
+        self._complete_suspend_entry()
+
+    def _complete_suspend_entry(self) -> None:
+        assert self.power is not None and self.wakelock is not None
+        if self.power.state is PowerState.ACTIVE and not self.wakelock.held:
+            self.power.request_suspend()
+
+    def _on_wakelock_expired(self) -> None:
+        self._try_enter_suspend()
+
+    def _next_sequence(self) -> int:
+        self._frame_sequence = (self._frame_sequence + 1) & 0xFFF
+        return self._frame_sequence
+
+    # -- receive path ----------------------------------------------------
+
+    def on_receive(self, transmission: Transmission) -> None:
+        frame = transmission.frame
+        if isinstance(frame, Beacon):
+            self._handle_beacon(frame)
+        elif isinstance(frame, Ack):
+            if frame.receiver == self.mac:
+                self._on_ack()
+        elif isinstance(frame, DataFrame):
+            if frame.is_broadcast:
+                self._handle_broadcast(frame)
+            elif frame.destination == self.mac:
+                self._handle_unicast(frame)
+        else:
+            from repro.dot11.association_frames import AssociationResponse
+            from repro.dot11.probe_frames import ProbeResponse
+
+            if isinstance(frame, AssociationResponse):
+                self._handle_association_response(frame)
+            elif isinstance(frame, ProbeResponse):
+                if frame.destination == self.mac:
+                    self.counters.probe_responses_received += 1
+                    if self._scan_results is not None:
+                        self._scan_results.append(frame)
+
+    def _handle_beacon(self, beacon: Beacon) -> None:
+        if beacon.bssid != self.bssid:
+            return
+        self.counters.beacons_received += 1
+        if beacon.tim.is_dtim:
+            self.counters.dtims_received += 1
+            self._radio_listening = self._should_listen(beacon)
+        if self.aid is not None and beacon.tim.indicates_unicast_for(self.aid):
+            self._wake_for_frame()
+            assert self.power is not None
+            self.power.when_active(self._send_ps_poll)
+
+    def _should_listen(self, beacon: Beacon) -> bool:
+        """Decide whether the radio stays up for the post-DTIM burst."""
+        if self.aid is None:
+            return False  # not associated yet: nothing buffered is ours
+        if self.config.policy is ClientPolicy.HIDE and beacon.btim is not None:
+            return beacon.btim.indicates_useful_broadcast_for(self.aid)
+        # Legacy rule (receive-all, client-side, or a HIDE client under
+        # a non-HIDE AP): the single TIM group-traffic bit decides.
+        return beacon.tim.group_traffic_buffered
+
+    def _handle_broadcast(self, frame: DataFrame) -> None:
+        if not self._radio_listening:
+            self.counters.broadcast_frames_ignored += 1
+            return
+        self.counters.broadcast_frames_received += 1
+        if not frame.more_data:
+            self._radio_listening = False
+        port = frame_udp_port(frame)
+        useful = port is not None and self.sockets.delivers_broadcast_on(port)
+        if useful:
+            self.counters.useful_frames_received += 1
+        else:
+            self.counters.useless_frames_received += 1
+        self._process_broadcast(useful)
+
+    def _process_broadcast(self, useful: bool) -> None:
+        assert self.power is not None and self.wakelock is not None
+        self._wake_for_frame()
+        if self.config.policy is ClientPolicy.CLIENT_SIDE and not useful:
+            # Driver-level drop: the frame still forced a wake-up, but
+            # no τ wakelock is held — the [6] lower bound. The
+            # zero-length acquire routes the "suspend now?" decision
+            # through the wakelock expiry, so it cannot race ahead of a
+            # useful frame delivered in the same batch.
+            self.power.when_active(lambda: self.wakelock.acquire(timeout_s=0.0))
+            return
+        if useful:
+            self.counters.frames_delivered_to_apps += 1
+        self.power.when_active(self.wakelock.acquire)
+
+    def _suspend_if_idle(self) -> None:
+        assert self.power is not None and self.wakelock is not None
+        if self.power.state is PowerState.ACTIVE and not self.wakelock.held:
+            self._try_enter_suspend()
+
+    def _wake_for_frame(self) -> None:
+        assert self.power is not None
+        self.power.request_wake()
+
+    # -- unicast (secondary path) ----------------------------------------
+
+    def _send_ps_poll(self) -> None:
+        if self.aid is None:
+            return
+        poll = PsPoll(aid=self.aid, bssid=self.bssid, transmitter=self.mac)
+        self.counters.ps_polls_sent += 1
+        self._medium.transmit(
+            self, poll, poll.to_bytes(), self.config.management_rate_bps
+        )
+
+    def _handle_unicast(self, frame: DataFrame) -> None:
+        self.counters.unicast_frames_received += 1
+        self._wake_for_frame()
+        assert self.power is not None and self.wakelock is not None
+        self.power.when_active(self.wakelock.acquire)
+        if frame.more_data:
+            self.power.when_active(self._send_ps_poll)
+
+    # -- derived metrics ---------------------------------------------------
+
+    def suspend_fraction(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time spent in SUSPENDED so far."""
+        assert self.power is not None
+        total = elapsed if elapsed is not None else self.simulator.now
+        if total <= 0:
+            return 0.0
+        return self.power.time_in_state(PowerState.SUSPENDED) / total

@@ -1,0 +1,87 @@
+"""Trace composition: merge, concatenate, and rate-scale traces.
+
+Tools for building evaluation workloads beyond the five stock
+scenarios: overlay two environments (e.g. a cafe's chatter plus one
+misbehaving host), play scenarios back to back, or stress-test by
+densifying a capture. All operations preserve the invariants the rest
+of the library relies on (time-sorted records inside the duration).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.traces.frame_record import BroadcastFrameRecord
+from repro.traces.trace import BroadcastTrace
+
+
+def merge_traces(name: str, traces: Sequence[BroadcastTrace]) -> BroadcastTrace:
+    """Overlay traces on a shared clock (duration = the longest input).
+
+    Frames keep their absolute times; ties preserve input order. The
+    more-data bits are kept as-is: merging captures from different BSSs
+    is an approximation, flagged here rather than silently "fixed".
+    """
+    if not traces:
+        raise ConfigurationError("need at least one trace to merge")
+    merged: List[BroadcastFrameRecord] = list(
+        heapq.merge(*[t.records for t in traces], key=lambda r: r.time)
+    )
+    return BroadcastTrace(
+        name=name,
+        duration_s=max(t.duration_s for t in traces),
+        records=tuple(merged),
+    )
+
+
+def concat_traces(name: str, traces: Sequence[BroadcastTrace]) -> BroadcastTrace:
+    """Play traces back to back, shifting each onto the end of the last."""
+    if not traces:
+        raise ConfigurationError("need at least one trace to concatenate")
+    records: List[BroadcastFrameRecord] = []
+    offset = 0.0
+    for trace in traces:
+        records.extend(record.shifted(offset) for record in trace)
+        offset += trace.duration_s
+    return BroadcastTrace(name=name, duration_s=offset, records=tuple(records))
+
+
+def scale_rate(
+    trace: BroadcastTrace, factor: float, name: str = ""
+) -> BroadcastTrace:
+    """Compress (factor > 1) or dilate (factor < 1) the time axis.
+
+    Scaling time by 1/factor multiplies the frame rate by ``factor``
+    while preserving the burst structure exactly — the right way to ask
+    "what if this building were twice as chatty?".
+    """
+    if factor <= 0:
+        raise ConfigurationError(f"scale factor must be positive: {factor}")
+    scaled = tuple(
+        BroadcastFrameRecord(
+            time=record.time / factor,
+            udp_port=record.udp_port,
+            length_bytes=record.length_bytes,
+            rate_bps=record.rate_bps,
+            more_data=record.more_data,
+            offered_time=(
+                None if record.offered_time is None
+                else record.offered_time / factor
+            ),
+        )
+        for record in trace
+    )
+    return BroadcastTrace(
+        name=name or f"{trace.name}x{factor:g}",
+        duration_s=trace.duration_s / factor,
+        records=scaled,
+    )
+
+
+def repeat_trace(trace: BroadcastTrace, times: int, name: str = "") -> BroadcastTrace:
+    """Loop a trace ``times`` times (for long-horizon evaluations)."""
+    if times < 1:
+        raise ConfigurationError(f"repeat count must be >= 1: {times}")
+    return concat_traces(name or f"{trace.name}x{times}", [trace] * times)

@@ -1,0 +1,149 @@
+"""Trace persistence: JSON-lines (lossless) and CSV (interchange)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import TraceFormatError
+from repro.traces.frame_record import BroadcastFrameRecord
+from repro.traces.trace import BroadcastTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace_jsonl(trace: BroadcastTrace, path: Union[str, Path]) -> None:
+    """Write a trace as a header line plus one JSON object per frame."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": "repro-broadcast-trace",
+            "version": _FORMAT_VERSION,
+            "name": trace.name,
+            "duration_s": trace.duration_s,
+            "frames": len(trace),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for record in trace:
+            row = {
+                "t": record.time,
+                "port": record.udp_port,
+                "len": record.length_bytes,
+                "rate": record.rate_bps,
+                "more": record.more_data,
+            }
+            if record.offered_time is not None:
+                row["offered"] = record.offered_time
+            handle.write(json.dumps(row) + "\n")
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> BroadcastTrace:
+    """Inverse of :func:`save_trace_jsonl`, with format validation."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise TraceFormatError(f"{path} is empty")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}: malformed header") from exc
+        if header.get("format") != "repro-broadcast-trace":
+            raise TraceFormatError(f"{path}: not a broadcast trace file")
+        if header.get("version") != _FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported version {header.get('version')}"
+            )
+        records = []
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+                records.append(
+                    BroadcastFrameRecord(
+                        time=row["t"],
+                        udp_port=row["port"],
+                        length_bytes=row["len"],
+                        rate_bps=row["rate"],
+                        more_data=row.get("more", False),
+                        offered_time=row.get("offered"),
+                    )
+                )
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{line_number}: bad record") from exc
+    declared = header.get("frames")
+    if declared is not None and declared != len(records):
+        raise TraceFormatError(
+            f"{path}: header declares {declared} frames, found {len(records)}"
+        )
+    return BroadcastTrace(
+        name=header["name"], duration_s=header["duration_s"], records=tuple(records)
+    )
+
+
+def load_trace_csv(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    duration_s: Optional[float] = None,
+) -> BroadcastTrace:
+    """Import a trace from CSV (the :func:`trace_to_csv` column layout).
+
+    This is the bring-your-own-capture path: export your pcap with
+    columns ``time_s, udp_port, length_bytes, rate_bps, more_data
+    [, offered_time_s]`` and the whole evaluation pipeline runs on it.
+    ``duration_s`` defaults to the last frame time rounded up a second.
+    """
+    path = Path(path)
+    records = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"time_s", "udp_port", "length_bytes", "rate_bps"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise TraceFormatError(
+                f"{path}: CSV must have columns {sorted(required)}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                offered = row.get("offered_time_s", "")
+                records.append(
+                    BroadcastFrameRecord(
+                        time=float(row["time_s"]),
+                        udp_port=int(row["udp_port"]),
+                        length_bytes=int(row["length_bytes"]),
+                        rate_bps=float(row["rate_bps"]),
+                        more_data=bool(int(row.get("more_data", "0") or 0)),
+                        offered_time=float(offered) if offered else None,
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{line_number}: bad row") from exc
+    records.sort(key=lambda r: r.time)
+    if duration_s is None:
+        duration_s = (records[-1].time + 1.0) if records else 1.0
+    return BroadcastTrace(
+        name=name or path.stem, duration_s=duration_s, records=tuple(records)
+    )
+
+
+def trace_to_csv(trace: BroadcastTrace, path: Union[str, Path]) -> None:
+    """Export to CSV for external tooling (spreadsheets, pandas)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["time_s", "udp_port", "length_bytes", "rate_bps", "more_data", "offered_time_s"]
+        )
+        for record in trace:
+            writer.writerow(
+                [
+                    f"{record.time:.6f}",
+                    record.udp_port,
+                    record.length_bytes,
+                    f"{record.rate_bps:.0f}",
+                    int(record.more_data),
+                    "" if record.offered_time is None else f"{record.offered_time:.6f}",
+                ]
+            )

@@ -1,0 +1,66 @@
+"""Unit helpers used across the HIDE reproduction.
+
+Internally the library uses SI base units everywhere: seconds for time,
+bits per second for data rates, bytes for frame sizes, watts for power,
+and joules for energy. These helpers exist so call sites can say
+``ms(46)`` instead of ``0.046`` and stay self-documenting.
+"""
+
+from __future__ import annotations
+
+#: Bits per second in one megabit per second.
+MBPS = 1_000_000.0
+
+#: The canonical 802.11 beacon interval: 102.4 ms (100 TUs).
+BEACON_INTERVAL_S = 0.1024
+
+#: One 802.11 time unit (TU) in seconds (1024 microseconds).
+TIME_UNIT_S = 1024e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def mj(value: float) -> float:
+    """Convert millijoules to joules."""
+    return value * 1e-3
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * 1e-3
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value * MBPS
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts (for reporting)."""
+    return watts * 1e3
+
+
+def airtime(length_bytes: int, rate_bps: float) -> float:
+    """Return the transmission time in seconds of ``length_bytes`` at ``rate_bps``.
+
+    This is the paper's ``l_i / r_i`` term: payload bits divided by the
+    frame's data rate.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"data rate must be positive, got {rate_bps}")
+    if length_bytes < 0:
+        raise ValueError(f"length must be non-negative, got {length_bytes}")
+    return (length_bytes * 8) / rate_bps
+
+
+def tu(count: float) -> float:
+    """Convert 802.11 time units (TUs) to seconds."""
+    return count * TIME_UNIT_S

@@ -1,0 +1,102 @@
+import pytest
+
+from repro.analysis.bianchi import BianchiModel
+from repro.analysis.netconfig import DOT11B_CONFIG, NetworkConfig
+from repro.errors import ConfigurationError
+
+
+class TestNetConfig:
+    def test_table2_defaults(self):
+        c = DOT11B_CONFIG
+        assert c.cw_min == 32
+        assert c.cw_max == 1024
+        assert c.slot_time_s == pytest.approx(20e-6)
+        assert c.sifs_s == pytest.approx(10e-6)
+        assert c.difs_s == pytest.approx(50e-6)
+        assert c.propagation_delay_s == pytest.approx(1e-6)
+        assert c.channel_rate_bps == pytest.approx(11e6)
+        assert c.mac_header_bits == 224
+        assert c.phy_overhead_bits == 192
+        assert c.payload_bits == 1000
+
+    def test_backoff_stages(self):
+        assert DOT11B_CONFIG.max_backoff_stage == 5  # 32 * 2^5 = 1024
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(cw_min=0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(cw_min=64, cw_max=32)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(cw_min=32, cw_max=96)  # not power-of-two multiple
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(slot_time_s=0)
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(payload_bits=0)
+
+
+class TestFixedPoint:
+    def test_single_station_never_collides(self):
+        tau, p = BianchiModel().solve_fixed_point(1)
+        assert p == 0.0
+        assert tau == pytest.approx(2 / (DOT11B_CONFIG.cw_min + 1))
+
+    def test_fixed_point_self_consistent(self):
+        model = BianchiModel()
+        for n in (2, 5, 10, 50):
+            tau, p = model.solve_fixed_point(n)
+            assert p == pytest.approx(1 - (1 - tau) ** (n - 1), abs=1e-9)
+
+    def test_collision_probability_increases_with_n(self):
+        model = BianchiModel()
+        ps = [model.solve_fixed_point(n)[1] for n in (2, 5, 20, 50)]
+        assert ps == sorted(ps)
+
+    def test_tau_decreases_with_n(self):
+        model = BianchiModel()
+        taus = [model.solve_fixed_point(n)[0] for n in (2, 5, 20, 50)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_invalid_station_count(self):
+        with pytest.raises(ConfigurationError):
+            BianchiModel().solve_fixed_point(0)
+
+
+class TestThroughput:
+    def test_throughput_fraction_bounded(self):
+        model = BianchiModel()
+        for n in (1, 5, 50):
+            result = model.evaluate(n)
+            assert 0.0 < result.throughput_fraction < 1.0
+
+    def test_throughput_with_bigger_payload_is_higher(self):
+        model = BianchiModel()
+        small = model.evaluate(10, payload_bits=500)
+        large = model.evaluate(10, payload_bits=8000)
+        assert large.throughput_fraction > small.throughput_fraction
+
+    def test_throughput_bps_consistent(self):
+        result = BianchiModel().evaluate(10)
+        assert result.throughput_bps == pytest.approx(
+            result.throughput_fraction * DOT11B_CONFIG.channel_rate_bps
+        )
+
+    def test_throughput_nearly_flat_in_n(self):
+        # The paper notes capacity "drops only slightly" from 5 to 50
+        # nodes — Bianchi saturation throughput is insensitive to n.
+        model = BianchiModel()
+        s5 = model.evaluate(5).throughput_bps
+        s50 = model.evaluate(50).throughput_bps
+        assert abs(s5 - s50) / s5 < 0.10
+
+    def test_bianchi_classic_regime(self):
+        # With Bianchi's canonical large payload (8184 bits) the model
+        # must produce throughput fractions in the published ~0.6-0.85
+        # range for moderate n.
+        model = BianchiModel()
+        result = model.evaluate(10, payload_bits=8184)
+        assert 0.55 < result.throughput_fraction < 0.9
+
+    def test_payload_validation(self):
+        with pytest.raises(ConfigurationError):
+            BianchiModel().evaluate(5, payload_bits=0)

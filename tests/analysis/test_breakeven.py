@@ -1,0 +1,64 @@
+import pytest
+
+from repro.analysis.breakeven import find_breakeven
+from repro.energy.profile import NEXUS_ONE
+from repro.errors import ConfigurationError
+from repro.traces.generators import generate_trace
+from repro.traces.scenarios import ScenarioSpec
+
+#: Dense storm-style trace where the crossover is reachable.
+DENSE = ScenarioSpec("dense", 240.0, 0.2, 150.0, 1.0, 0.12, 55)
+#: Sparse trace where HIDE wins at every fraction.
+SPARSE = ScenarioSpec("sparse", 240.0, 0.3, 3.0, 30.0, 5.0, 56)
+
+
+@pytest.fixture(scope="module")
+def dense_trace():
+    return generate_trace(DENSE)
+
+
+@pytest.fixture(scope="module")
+def sparse_trace():
+    return generate_trace(SPARSE)
+
+
+class TestBreakeven:
+    def test_dense_trace_has_crossover(self, dense_trace):
+        result = find_breakeven(dense_trace, NEXUS_ONE, tolerance=0.02)
+        assert result.breakeven_fraction is not None
+        # The crossover sits well above the paper's 2-10% regime...
+        assert result.breakeven_fraction > 0.15
+        # ...so the paper's operating points still save comfortably.
+        assert result.saving_at_10pct > 0.1
+        assert result.saving_at_2pct > result.saving_at_10pct
+
+    def test_sparse_trace_never_crosses(self, sparse_trace):
+        result = find_breakeven(sparse_trace, NEXUS_ONE, tolerance=0.02)
+        assert result.breakeven_fraction is None
+        assert result.saving_at_10pct > 0.3
+
+    def test_recomputed_mode_pushes_crossover_out(self, dense_trace):
+        original = find_breakeven(
+            dense_trace, NEXUS_ONE, tolerance=0.02, more_data_mode="original"
+        )
+        recomputed = find_breakeven(
+            dense_trace, NEXUS_ONE, tolerance=0.02, more_data_mode="recomputed"
+        )
+        if recomputed.breakeven_fraction is None:
+            assert original.breakeven_fraction is not None
+        else:
+            assert (
+                recomputed.breakeven_fraction >= original.breakeven_fraction
+            )
+
+    def test_result_metadata(self, sparse_trace):
+        result = find_breakeven(sparse_trace, NEXUS_ONE, tolerance=0.05)
+        assert result.trace_name == "sparse"
+        assert result.device == "Nexus One"
+        assert result.search_ceiling == 0.95
+
+    def test_validation(self, sparse_trace):
+        with pytest.raises(ConfigurationError):
+            find_breakeven(sparse_trace, NEXUS_ONE, search_ceiling=0.0)
+        with pytest.raises(ConfigurationError):
+            find_breakeven(sparse_trace, NEXUS_ONE, tolerance=0.0)

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.ap.association import AssociationTable
+from repro.dot11.mac_address import MacAddress
+from repro.errors import AssociationError
+
+
+class TestAssociation:
+    def test_aids_allocated_from_one(self):
+        table = AssociationTable()
+        records = [table.associate(MacAddress.station(i)) for i in range(3)]
+        assert [r.aid for r in records] == [1, 2, 3]
+
+    def test_reassociation_keeps_aid(self):
+        table = AssociationTable()
+        first = table.associate(MacAddress.station(1))
+        again = table.associate(MacAddress.station(1), hide_capable=True)
+        assert again.aid == first.aid
+        assert again.hide_capable
+
+    def test_disassociate_frees_aid(self):
+        table = AssociationTable()
+        table.associate(MacAddress.station(1))
+        table.associate(MacAddress.station(2))
+        table.disassociate(MacAddress.station(1))
+        assert table.associate(MacAddress.station(3)).aid == 1
+
+    def test_disassociate_unknown(self):
+        table = AssociationTable()
+        with pytest.raises(AssociationError):
+            table.disassociate(MacAddress.station(9))
+
+    def test_lookup_by_mac_and_aid(self):
+        table = AssociationTable()
+        record = table.associate(MacAddress.station(5))
+        assert table.by_mac(MacAddress.station(5)) is record
+        assert table.by_aid(record.aid) is record
+
+    def test_lookup_missing(self):
+        table = AssociationTable()
+        with pytest.raises(AssociationError):
+            table.by_mac(MacAddress.station(1))
+        with pytest.raises(AssociationError):
+            table.by_aid(1)
+        assert table.get_by_mac(MacAddress.station(1)) is None
+
+    def test_iteration_sorted_by_aid(self):
+        table = AssociationTable()
+        for i in (5, 3, 9):
+            table.associate(MacAddress.station(i))
+        aids = [record.aid for record in table]
+        assert aids == sorted(aids)
+
+    def test_power_save_tracking(self):
+        table = AssociationTable()
+        record = table.associate(MacAddress.station(1))
+        assert table.any_in_power_save()  # PS by default
+        record.power_save = False
+        assert not table.any_in_power_save()
+
+    def test_len(self):
+        table = AssociationTable()
+        assert len(table) == 0
+        table.associate(MacAddress.station(1))
+        assert len(table) == 1

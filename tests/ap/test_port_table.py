@@ -1,0 +1,107 @@
+import pytest
+
+from repro.ap.port_table import ClientUdpPortTable
+
+
+class TestUpdateSemantics:
+    def test_update_and_lookup(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {5353, 1900})
+        table.update_client(2, {5353})
+        assert table.clients_for_port(5353) == frozenset({1, 2})
+        assert table.clients_for_port(1900) == frozenset({1})
+        assert table.clients_for_port(9999) == frozenset()
+
+    def test_refresh_replaces_old_ports(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {5353, 1900})
+        table.update_client(1, {137})
+        assert table.clients_for_port(5353) == frozenset()
+        assert table.clients_for_port(137) == frozenset({1})
+        assert table.ports_for_client(1) == frozenset({137})
+
+    def test_refresh_counts_delete_and_insert_ops(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {10, 20, 30})
+        assert table.stats.inserts == 3
+        assert table.stats.deletes == 0
+        table.update_client(1, {30, 40})
+        # Paper semantics: delete all old, insert all new.
+        assert table.stats.deletes == 3
+        assert table.stats.inserts == 5
+
+    def test_empty_update_clears_client(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {5353})
+        table.update_client(1, set())
+        assert table.client_count == 0
+        assert table.clients_for_port(5353) == frozenset()
+
+    def test_remove_client(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {5353, 137})
+        table.update_client(2, {5353})
+        table.remove_client(1)
+        assert table.clients_for_port(5353) == frozenset({2})
+        assert table.clients_for_port(137) == frozenset()
+        assert table.ports_for_client(1) == frozenset()
+
+    def test_remove_unknown_client_is_noop(self):
+        table = ClientUdpPortTable()
+        table.remove_client(42)
+        assert len(table) == 0
+
+    def test_port_validation(self):
+        table = ClientUdpPortTable()
+        with pytest.raises(ValueError):
+            table.update_client(1, {0})
+        with pytest.raises(ValueError):
+            table.update_client(1, {65536})
+
+    def test_len_counts_pairs(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {10, 20})
+        table.update_client(2, {10})
+        assert len(table) == 3
+        assert table.distinct_ports == 2
+        assert table.client_count == 2
+
+    def test_port_is_open_for(self):
+        table = ClientUdpPortTable()
+        table.update_client(3, {17500})
+        assert table.port_is_open_for(17500, 3)
+        assert not table.port_is_open_for(17500, 4)
+
+
+class TestStats:
+    def test_lookup_counted(self):
+        table = ClientUdpPortTable()
+        table.clients_for_port(1)
+        table.clients_for_port(2)
+        assert table.stats.lookups == 2
+
+    def test_reset(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {5})
+        table.stats.reset()
+        assert table.stats.inserts == 0
+        assert table.stats.refreshes == 0
+
+
+class TestMeasurement:
+    def test_measure_leaves_table_unchanged(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {5353})
+        before_pairs = len(table)
+        times = table.measure_operation_times(samples=10)
+        assert len(table) == before_pairs
+        assert times.insert_s >= 0
+        assert times.delete_s >= 0
+        assert times.lookup_s >= 0
+
+    def test_measure_returns_plausible_magnitudes(self):
+        table = ClientUdpPortTable()
+        times = table.measure_operation_times(samples=50)
+        # Python dict ops on a laptop: well under a millisecond each.
+        assert times.insert_s < 1e-3
+        assert times.lookup_s < 1e-3

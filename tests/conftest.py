@@ -1,0 +1,67 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dot11.mac_address import MacAddress
+from repro.energy.profile import GALAXY_S4, NEXUS_ONE
+from repro.traces.frame_record import BroadcastFrameRecord
+from repro.traces.scenarios import ScenarioSpec
+from repro.traces.trace import BroadcastTrace
+from repro.units import mbps
+
+
+@pytest.fixture
+def ap_mac() -> MacAddress:
+    return MacAddress.from_string("02:aa:00:00:00:01")
+
+
+@pytest.fixture
+def sta_mac() -> MacAddress:
+    return MacAddress.station(1)
+
+
+@pytest.fixture
+def nexus_one():
+    return NEXUS_ONE
+
+
+@pytest.fixture
+def galaxy_s4():
+    return GALAXY_S4
+
+
+def make_record(
+    time: float,
+    port: int = 5353,
+    length: int = 200,
+    rate: float = mbps(1),
+    more: bool = False,
+) -> BroadcastFrameRecord:
+    """Convenience constructor used across trace/energy tests."""
+    return BroadcastFrameRecord(
+        time=time, udp_port=port, length_bytes=length, rate_bps=rate, more_data=more
+    )
+
+
+def make_trace(times, duration: float = None, name: str = "test", **kwargs):
+    """A small trace with frames at the given times."""
+    records = tuple(make_record(t, **kwargs) for t in times)
+    if duration is None:
+        duration = (records[-1].time + 5.0) if records else 10.0
+    return BroadcastTrace(name=name, duration_s=duration, records=records)
+
+
+@pytest.fixture
+def tiny_scenario() -> ScenarioSpec:
+    """A short scenario for fast end-to-end experiment tests."""
+    return ScenarioSpec(
+        name="tiny",
+        duration_s=60.0,
+        quiet_rate_fps=0.5,
+        burst_rate_fps=20.0,
+        quiet_dwell_s=5.0,
+        burst_dwell_s=1.0,
+        seed=7,
+    )

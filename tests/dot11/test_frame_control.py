@@ -1,0 +1,87 @@
+import pytest
+
+from repro.dot11.frame_control import (
+    ControlSubtype,
+    DataSubtype,
+    FrameControl,
+    FrameType,
+    ManagementSubtype,
+)
+from repro.errors import FrameDecodeError
+
+
+class TestEncoding:
+    def test_beacon_frame_control(self):
+        fc = FrameControl(FrameType.MANAGEMENT, int(ManagementSubtype.BEACON))
+        assert fc.to_bytes() == bytes([0x80, 0x00])
+
+    def test_ack_frame_control(self):
+        fc = FrameControl(FrameType.CONTROL, int(ControlSubtype.ACK))
+        assert fc.to_bytes() == bytes([0xD4, 0x00])
+
+    def test_udp_port_message_subtype(self):
+        fc = FrameControl(FrameType.MANAGEMENT, int(ManagementSubtype.UDP_PORT_MESSAGE))
+        # type 00, subtype 1111 per the paper's Figure 3.
+        assert fc.to_bytes()[0] == 0xF0
+
+    def test_more_data_bit(self):
+        fc = FrameControl(FrameType.DATA, int(DataSubtype.DATA), more_data=True)
+        assert fc.to_bytes()[1] & 0x20
+
+    def test_from_ds_bit(self):
+        fc = FrameControl(FrameType.DATA, 0, from_ds=True)
+        assert fc.to_bytes()[1] == 0x02
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("ftype,subtype", [
+        (FrameType.MANAGEMENT, 0b1000),
+        (FrameType.MANAGEMENT, 0b1111),
+        (FrameType.CONTROL, 0b1101),
+        (FrameType.CONTROL, 0b1010),
+        (FrameType.DATA, 0b0000),
+    ])
+    def test_type_subtype(self, ftype, subtype):
+        fc = FrameControl(ftype, subtype)
+        decoded = FrameControl.from_bytes(fc.to_bytes())
+        assert decoded.ftype is ftype
+        assert decoded.subtype == subtype
+
+    def test_all_flag_combinations(self):
+        for flags in range(256):
+            fc = FrameControl(
+                FrameType.DATA,
+                0,
+                to_ds=bool(flags & 1),
+                from_ds=bool(flags & 2),
+                more_fragments=bool(flags & 4),
+                retry=bool(flags & 8),
+                power_management=bool(flags & 16),
+                more_data=bool(flags & 32),
+                protected=bool(flags & 64),
+                order=bool(flags & 128),
+            )
+            assert FrameControl.from_bytes(fc.to_bytes()) == fc
+
+
+class TestValidation:
+    def test_subtype_range(self):
+        with pytest.raises(ValueError):
+            FrameControl(FrameType.DATA, 16)
+
+    def test_version_must_be_zero(self):
+        with pytest.raises(ValueError):
+            FrameControl(FrameType.DATA, 0, protocol_version=1)
+
+    def test_decode_truncated(self):
+        with pytest.raises(FrameDecodeError):
+            FrameControl.from_bytes(b"\x80")
+
+    def test_decode_bad_version(self):
+        with pytest.raises(FrameDecodeError):
+            FrameControl.from_bytes(bytes([0x81, 0x00]))
+
+    def test_decode_reserved_type(self):
+        # frame type 0b11 is reserved
+        with pytest.raises(FrameDecodeError):
+            FrameControl.from_bytes(bytes([0x0C, 0x00]))

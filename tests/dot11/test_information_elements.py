@@ -1,0 +1,108 @@
+import pytest
+
+from repro.dot11.elements.dsss import DsssParameterElement
+from repro.dot11.elements.ssid import SsidElement
+from repro.dot11.elements.supported_rates import (
+    DOT11B_RATES_MBPS,
+    SupportedRatesElement,
+)
+from repro.dot11.information_element import (
+    RawInformationElement,
+    find_element,
+    parse_elements,
+    serialize_elements,
+)
+from repro.errors import FrameDecodeError
+
+
+class TestSsid:
+    def test_round_trip(self):
+        element = SsidElement("coffee-shop")
+        parsed = parse_elements(element.to_bytes())
+        assert parsed == [element]
+
+    def test_utf8(self):
+        element = SsidElement("café")
+        assert SsidElement.from_payload(element.payload_bytes()) == element
+
+    def test_too_long(self):
+        with pytest.raises(ValueError):
+            SsidElement("x" * 33)
+
+    def test_empty_allowed(self):
+        assert SsidElement("").payload_bytes() == b""
+
+
+class TestSupportedRates:
+    def test_default_is_dot11b(self):
+        assert SupportedRatesElement().rates_mbps == DOT11B_RATES_MBPS
+
+    def test_round_trip(self):
+        element = SupportedRatesElement((1.0, 5.5, 11.0))
+        assert SupportedRatesElement.from_payload(element.payload_bytes()) == element
+
+    def test_basic_rate_bit_set(self):
+        assert all(b & 0x80 for b in SupportedRatesElement().payload_bytes())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupportedRatesElement(())
+        with pytest.raises(ValueError):
+            SupportedRatesElement((1.0,) * 9)
+        with pytest.raises(ValueError):
+            SupportedRatesElement((0.25,))
+        with pytest.raises(ValueError):
+            SupportedRatesElement((1.3,))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(FrameDecodeError):
+            SupportedRatesElement.from_payload(b"")
+
+
+class TestDsss:
+    def test_round_trip(self):
+        element = DsssParameterElement(11)
+        assert DsssParameterElement.from_payload(element.payload_bytes()) == element
+
+    def test_channel_range(self):
+        for bad in (0, 15):
+            with pytest.raises(ValueError):
+                DsssParameterElement(bad)
+
+    def test_bad_payload_length(self):
+        with pytest.raises(FrameDecodeError):
+            DsssParameterElement.from_payload(b"\x06\x06")
+
+
+class TestParsing:
+    def test_multiple_elements(self):
+        elements = [SsidElement("a"), SupportedRatesElement(), DsssParameterElement(6)]
+        parsed = parse_elements(serialize_elements(elements))
+        assert parsed == elements
+
+    def test_unknown_element_preserved_raw(self):
+        raw = RawInformationElement(222, b"\x01\x02\x03")
+        parsed = parse_elements(raw.to_bytes())
+        assert parsed == [raw]
+        assert parsed[0].element_id == 222
+
+    def test_truncated_header(self):
+        with pytest.raises(FrameDecodeError):
+            parse_elements(b"\x00")
+
+    def test_truncated_payload(self):
+        with pytest.raises(FrameDecodeError):
+            parse_elements(bytes([0, 5]) + b"abc")
+
+    def test_find_element(self):
+        elements = [SsidElement("a"), DsssParameterElement(6)]
+        assert find_element(elements, 0) == SsidElement("a")
+        assert find_element(elements, 5) is None
+
+    def test_empty_input(self):
+        assert parse_elements(b"") == []
+
+    def test_encoded_length(self):
+        element = SsidElement("abcd")
+        assert element.encoded_length == 2 + 4
+        assert len(element.to_bytes()) == element.encoded_length

@@ -1,0 +1,56 @@
+import pytest
+
+from repro.dot11.elements.open_udp_ports import (
+    MAX_PORTS_PER_ELEMENT,
+    OpenUdpPortsElement,
+)
+from repro.dot11.information_element import ELEMENT_ID_OPEN_UDP_PORTS, parse_elements
+from repro.errors import FrameDecodeError
+
+
+class TestOpenUdpPorts:
+    def test_round_trip(self):
+        element = OpenUdpPortsElement(frozenset({5353, 1900, 137}))
+        assert OpenUdpPortsElement.from_payload(element.payload_bytes()) == element
+
+    def test_element_id_200(self):
+        assert OpenUdpPortsElement().element_id == ELEMENT_ID_OPEN_UDP_PORTS
+        parsed = parse_elements(OpenUdpPortsElement(frozenset({53})).to_bytes())
+        assert isinstance(parsed[0], OpenUdpPortsElement)
+
+    def test_two_bytes_per_port(self):
+        element = OpenUdpPortsElement(frozenset({1, 2, 3}))
+        assert len(element.payload_bytes()) == 6
+
+    def test_serialization_deterministic(self):
+        a = OpenUdpPortsElement(frozenset({100, 200, 300}))
+        b = OpenUdpPortsElement(frozenset({300, 100, 200}))
+        assert a.payload_bytes() == b.payload_bytes()
+
+    def test_ports_sorted_big_endian(self):
+        element = OpenUdpPortsElement(frozenset({0x1234, 0x0001}))
+        assert element.payload_bytes() == b"\x00\x01\x12\x34"
+
+    def test_empty_set(self):
+        element = OpenUdpPortsElement()
+        assert element.payload_bytes() == b""
+        assert OpenUdpPortsElement.from_payload(b"") == element
+
+    def test_capacity_limit(self):
+        ports = frozenset(range(1, MAX_PORTS_PER_ELEMENT + 2))
+        with pytest.raises(ValueError):
+            OpenUdpPortsElement(ports)
+
+    def test_port_range_validated(self):
+        with pytest.raises(ValueError):
+            OpenUdpPortsElement(frozenset({0}))
+        with pytest.raises(ValueError):
+            OpenUdpPortsElement(frozenset({70000}))
+
+    def test_odd_payload_rejected(self):
+        with pytest.raises(FrameDecodeError):
+            OpenUdpPortsElement.from_payload(b"\x00\x01\x02")
+
+    def test_port_zero_in_payload_rejected(self):
+        with pytest.raises(FrameDecodeError):
+            OpenUdpPortsElement.from_payload(b"\x00\x00")

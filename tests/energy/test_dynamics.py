@@ -1,0 +1,188 @@
+"""Tests of the Section IV state recursion (Eqs. 3-5, 14)."""
+
+import pytest
+
+from repro.energy.dynamics import FrameEvent, derive_frame_dynamics
+from repro.errors import ConfigurationError
+from repro.units import mbps
+
+TAU = 1.0
+TRM = 0.046
+TSP = 0.086
+
+
+def frame(time, length=125, rate=mbps(1), useful=True, more=False):
+    return FrameEvent(
+        time=time, length_bytes=length, rate_bps=rate, useful=useful, more_data=more
+    )
+
+
+def derive(frames, tau=TAU, wakelock_for_frame=None):
+    return derive_frame_dynamics(
+        frames,
+        wakelock_timeout_s=tau,
+        resume_duration_s=TRM,
+        suspend_duration_s=TSP,
+        wakelock_for_frame=wakelock_for_frame,
+    )
+
+
+AIRTIME = 0.001  # 125 bytes at 1 Mb/s
+
+
+class TestSingleFrame:
+    def test_first_frame_finds_system_suspended(self):
+        (dyn,) = derive([frame(0.0)])
+        assert dyn.suspended_on_arrival
+
+    def test_wakelock_delayed_by_resume(self):
+        # Eq. (3), first case: t_r = t + l/r + T_rm.
+        (dyn,) = derive([frame(2.0)])
+        assert dyn.wakelock_start == pytest.approx(2.0 + AIRTIME + TRM)
+
+    def test_full_wakelock_duration(self):
+        (dyn,) = derive([frame(0.0)])
+        assert dyn.coverage_increment == pytest.approx(TAU)
+
+    def test_no_aborted_suspend(self):
+        (dyn,) = derive([frame(0.0)])
+        assert dyn.aborted_suspend_fraction == 0.0
+
+
+class TestRenewal:
+    def test_second_frame_within_wakelock_renews(self):
+        dynamics = derive([frame(0.0), frame(0.5)])
+        assert not dynamics[1].suspended_on_arrival
+        # Eq. (4): first frame's incremental hold is t_r(2) - t_r(1).
+        gap = dynamics[1].wakelock_start - dynamics[0].wakelock_start
+        assert dynamics[0].coverage_increment + dynamics[1].coverage_increment == (
+            pytest.approx(gap + TAU)
+        )
+
+    def test_total_coverage_equals_union(self):
+        dynamics = derive([frame(0.0), frame(0.4), frame(0.8)])
+        total = sum(d.coverage_increment for d in dynamics)
+        # One continuous hold from t_r(1) to t_r(3)+tau.
+        expected = dynamics[2].wakelock_start + TAU - dynamics[0].wakelock_start
+        assert total == pytest.approx(expected)
+
+    def test_frame_during_resume_delays_wakelock(self):
+        # Second frame lands while the first resume is in flight:
+        # Eq. (3) second case with t_r(i-1) dominating.
+        dynamics = derive([frame(0.0), frame(0.01)])
+        assert not dynamics[1].suspended_on_arrival
+        assert dynamics[1].wakelock_start == dynamics[0].wakelock_start
+
+
+class TestSuspendCycle:
+    def test_distant_frame_finds_system_suspended(self):
+        # Eq. (5): gap beyond tau + Tsp -> s(i) = 0.
+        dynamics = derive([frame(0.0), frame(5.0)])
+        assert dynamics[1].suspended_on_arrival
+        assert dynamics[1].aborted_suspend_fraction == 0.0
+
+    def test_boundary_exactly_at_suspend_completion(self):
+        first = frame(0.0)
+        wl_end = first.rx_complete + TRM + TAU
+        boundary_arrival = wl_end + TSP  # rx_complete == awake_until + Tsp
+        second = FrameEvent(
+            time=boundary_arrival - AIRTIME,
+            length_bytes=125, rate_bps=mbps(1), useful=True,
+        )
+        dynamics = derive([first, second])
+        assert dynamics[1].suspended_on_arrival  # >= comparison, Eq. (5)
+
+    def test_frame_during_suspend_op_aborts(self):
+        first = frame(0.0)
+        wl_end = first.rx_complete + TRM + TAU
+        # Arrives half-way through the suspend op.
+        second_rx_complete = wl_end + TSP / 2
+        second = FrameEvent(
+            time=second_rx_complete - AIRTIME,
+            length_bytes=125, rate_bps=mbps(1), useful=True,
+        )
+        dynamics = derive([first, second])
+        assert not dynamics[1].suspended_on_arrival
+        assert dynamics[1].aborted_suspend_fraction == pytest.approx(0.5)
+
+    def test_aborted_fraction_capped_at_one(self):
+        dynamics = derive([frame(0.0), frame(0.5), frame(5.0)])
+        for dyn in dynamics:
+            assert 0.0 <= dyn.aborted_suspend_fraction <= 1.0
+
+
+class TestPerFrameTau:
+    """The client-side baseline: τ_i = 0 for useless frames."""
+
+    def tau_for(self, event):
+        return TAU if event.useful else 0.0
+
+    def test_useless_frame_holds_no_wakelock(self):
+        dynamics = derive(
+            [frame(0.0, useful=False)], wakelock_for_frame=self.tau_for
+        )
+        assert dynamics[0].coverage_increment == 0.0
+
+    def test_useless_frame_does_not_truncate_held_lock(self):
+        # A useless frame arriving under a useful frame's lock must not
+        # shorten it (wakelocks extend, never shrink).
+        dynamics = derive(
+            [frame(0.0, useful=True), frame(0.3, useful=False)],
+            wakelock_for_frame=self.tau_for,
+        )
+        total = sum(d.coverage_increment for d in dynamics)
+        assert total == pytest.approx(TAU)
+
+    def test_frame_during_resume_does_not_abort(self):
+        # The second frame lands during the first frame's resume op: no
+        # suspend was in progress, so nothing is aborted.
+        dynamics = derive(
+            [frame(0.0, useful=False), frame(0.04, useful=False)],
+            wakelock_for_frame=self.tau_for,
+        )
+        assert dynamics[0].suspended_on_arrival
+        assert not dynamics[1].suspended_on_arrival
+        assert dynamics[1].aborted_suspend_fraction == 0.0
+
+    def test_back_to_back_useless_frames_churn_suspends(self):
+        # Frame 2 lands after frame 1's zero-length "processing" but
+        # before its suspend op completes: a partial suspend is aborted.
+        dynamics = derive(
+            [frame(0.0, useful=False), frame(0.1, useful=False)],
+            wakelock_for_frame=self.tau_for,
+        )
+        assert dynamics[0].suspended_on_arrival
+        assert not dynamics[1].suspended_on_arrival
+        assert 0.0 < dynamics[1].aborted_suspend_fraction < 1.0
+
+    def test_spread_useless_frames_full_cycles(self):
+        dynamics = derive(
+            [frame(0.0, useful=False), frame(1.0, useful=False)],
+            wakelock_for_frame=self.tau_for,
+        )
+        assert dynamics[1].suspended_on_arrival
+
+
+class TestValidation:
+    def test_unsorted_frames_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive([frame(1.0), frame(0.5)])
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_frame_dynamics([frame(0.0)], -1.0, TRM, TSP)
+
+    def test_negative_per_frame_tau_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive([frame(0.0)], wakelock_for_frame=lambda f: -1.0)
+
+    def test_empty_input(self):
+        assert derive([]) == []
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FrameEvent(time=-1.0, length_bytes=10, rate_bps=1e6, useful=True)
+        with pytest.raises(ValueError):
+            FrameEvent(time=0.0, length_bytes=0, rate_bps=1e6, useful=True)
+        with pytest.raises(ValueError):
+            FrameEvent(time=0.0, length_bytes=10, rate_bps=0, useful=True)

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.energy.components import COMPONENT_LABELS, EnergyBreakdown
+from repro.energy.profile import ALL_PROFILES, GALAXY_S4, NEXUS_ONE
+from repro.errors import ConfigurationError
+
+
+class TestProfiles:
+    def test_table1_nexus_one_values(self):
+        p = NEXUS_ONE
+        assert p.wakelock_timeout_s == 1.0
+        assert p.resume_duration_s == pytest.approx(0.046)
+        assert p.suspend_duration_s == pytest.approx(0.086)
+        assert p.resume_energy_j == pytest.approx(18.26e-3)
+        assert p.suspend_energy_j == pytest.approx(17.66e-3)
+        assert p.beacon_rx_j == pytest.approx(1.25e-3)
+        assert p.rx_power_w == pytest.approx(0.530)
+        assert p.tx_power_w == pytest.approx(1.200)
+        assert p.idle_power_w == pytest.approx(0.245)
+        assert p.suspend_power_w == pytest.approx(0.011)
+        assert p.active_idle_power_w == pytest.approx(0.125)
+
+    def test_table1_galaxy_s4_values(self):
+        p = GALAXY_S4
+        assert p.resume_duration_s == pytest.approx(0.044)
+        assert p.suspend_duration_s == pytest.approx(0.165)
+        assert p.resume_energy_j == pytest.approx(58.3e-3)
+        assert p.suspend_energy_j == pytest.approx(85.8e-3)
+        assert p.beacon_rx_j == pytest.approx(1.71e-3)
+        assert p.tx_power_w == pytest.approx(1.5)
+
+    def test_both_profiles_exported(self):
+        assert [p.name for p in ALL_PROFILES] == ["Nexus One", "Galaxy S4"]
+
+    def test_overrides(self):
+        modified = NEXUS_ONE.with_overrides(wakelock_timeout_s=0.5)
+        assert modified.wakelock_timeout_s == 0.5
+        assert modified.rx_power_w == NEXUS_ONE.rx_power_w
+        assert NEXUS_ONE.wakelock_timeout_s == 1.0  # original untouched
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NEXUS_ONE.with_overrides(rx_power_w=-1.0)
+
+
+class TestBreakdown:
+    def make(self, **kwargs):
+        defaults = dict(
+            beacon_j=1.0,
+            receive_j=2.0,
+            state_transfer_j=3.0,
+            wakelock_j=4.0,
+            overhead_j=0.5,
+            duration_s=10.0,
+        )
+        defaults.update(kwargs)
+        return EnergyBreakdown(**defaults)
+
+    def test_total(self):
+        assert self.make().total_j == pytest.approx(10.5)
+
+    def test_average_power(self):
+        assert self.make().average_power_w == pytest.approx(1.05)
+
+    def test_component_power_labels(self):
+        powers = self.make().component_power_w()
+        assert tuple(powers) == COMPONENT_LABELS
+        assert powers["Eb"] == pytest.approx(0.1)
+        assert powers["Eo"] == pytest.approx(0.05)
+
+    def test_savings(self):
+        baseline = self.make()
+        better = self.make(wakelock_j=0.0, state_transfer_j=0.0)
+        assert better.savings_vs(baseline) == pytest.approx(7.0 / 10.5)
+
+    def test_savings_requires_nonzero_baseline(self):
+        baseline = self.make(
+            beacon_j=0, receive_j=0, state_transfer_j=0, wakelock_j=0, overhead_j=0
+        )
+        with pytest.raises(ValueError):
+            self.make().savings_vs(baseline)
+
+    def test_scaled(self):
+        scaled = self.make().scaled(2.0)
+        assert scaled.total_j == pytest.approx(21.0)
+        assert scaled.duration_s == 10.0
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            self.make(duration_s=0.0)

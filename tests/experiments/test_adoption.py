@@ -1,0 +1,56 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import adoption
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Small/short sweep: the behaviour, not the magnitude, is under test.
+    return adoption.compute(
+        fractions=(0.0, 0.5, 1.0), total_clients=4, duration_s=40.0
+    )
+
+
+class TestAdoptionSweep:
+    def test_fleet_power_decreases_with_adoption(self, result):
+        powers = [p.mean_power_mw for p in result.points]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_legacy_phones_unaffected_by_neighbours_adopting(self, result):
+        legacy = [
+            p.mean_legacy_power_mw
+            for p in result.points
+            if p.mean_legacy_power_mw > 0
+        ]
+        assert max(legacy) - min(legacy) < 1e-6
+
+    def test_hide_phones_cheaper_than_legacy(self, result):
+        mixed = result.points[1]  # 50% adoption has both kinds
+        assert mixed.mean_hide_power_mw < mixed.mean_legacy_power_mw
+
+    def test_suspend_fraction_rises_with_adoption(self, result):
+        fractions = [p.mean_suspend_fraction for p in result.points]
+        assert fractions == sorted(fractions)
+
+    def test_endpoints_have_single_population(self, result):
+        assert result.points[0].mean_hide_power_mw == 0.0
+        assert result.points[-1].mean_legacy_power_mw == 0.0
+
+    def test_render(self, result):
+        text = adoption.render(result)
+        assert "adoption" in text
+        assert "fleet mW" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            adoption.compute(fractions=(1.5,), total_clients=2, duration_s=10.0)
+        with pytest.raises(ConfigurationError):
+            adoption.compute(total_clients=0)
+        with pytest.raises(ConfigurationError):
+            adoption.compute(duration_s=0.0)
+
+    def test_deterministic(self):
+        a = adoption.compute(fractions=(0.5,), total_clients=4, duration_s=20.0)
+        b = adoption.compute(fractions=(0.5,), total_clients=4, duration_s=20.0)
+        assert a.points[0].mean_power_mw == b.points[0].mean_power_mw

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.energy import COMPONENT_LABELS, NEXUS_ONE
+from repro.experiments.context import EvaluationContext
+from repro.experiments.energy_bars import (
+    EnergyBar,
+    EnergyBarGrid,
+    compute_grid,
+    render_grid,
+)
+from repro.traces.scenarios import ScenarioSpec
+
+FAST = (ScenarioSpec("Tiny", 90.0, 0.5, 15.0, 8.0, 2.0, 71),)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return compute_grid(NEXUS_ONE, EvaluationContext(scenarios=FAST))
+
+
+class TestEnergyBar:
+    def test_total_is_component_sum(self):
+        bar = EnergyBar(label="x", components_mw=(1.0, 2.0, 3.0, 4.0, 0.5))
+        assert bar.total_mw == pytest.approx(10.5)
+
+
+class TestGrid:
+    def test_components_ordered_like_labels(self, grid):
+        for bars in grid.bars.values():
+            for bar in bars:
+                assert len(bar.components_mw) == len(COMPONENT_LABELS)
+
+    def test_total_lookup(self, grid):
+        total = grid.total_mw("Tiny", "receive-all")
+        assert total > 0
+
+    def test_unknown_bar_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.total_mw("Tiny", "no-such-solution")
+
+    def test_hide_savings_positive(self, grid):
+        assert grid.hide_savings("Tiny", "HIDE:2%") > 0
+
+    def test_render_contains_all_bars(self, grid):
+        text = render_grid(grid, "Figure X")
+        for label in grid.bar_labels:
+            assert label in text
+        assert "Figure X" in text
+        assert "HIDE energy savings" in text
+
+
+class TestCliInspectStructure:
+    def test_structure_line_printed(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "inspect", "WRL"]) == 0
+        out = capsys.readouterr().out
+        assert "structure:" in out
+        assert "dispersion index" in out
+        assert "long enough to suspend" in out

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.reporting.chart import render_bar_chart, render_cdf, render_series_table
+from repro.reporting.table import render_table
+
+
+class TestTable:
+    def test_basic_layout(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "bb" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["col"], [["5"], ["500"]])
+        lines = text.splitlines()
+        assert lines[2] == "  5"
+        assert lines[3] == "500"
+
+    def test_text_left_aligned(self):
+        text = render_table(["col"], [["ab"], ["abcd"]])
+        assert text.splitlines()[2] == "ab"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_percent_cells_numeric(self):
+        text = render_table(["p"], [["5.0%"], ["50.0%"]])
+        assert text.splitlines()[2] == " 5.0%"
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = render_bar_chart(["a", "b"], [50.0, 100.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_unit_and_title(self):
+        text = render_bar_chart(["x"], [3.0], title="T", unit="mW")
+        assert text.startswith("T\n")
+        assert "3.0mW" in text
+
+    def test_max_value_override(self):
+        text = render_bar_chart(["x"], [50.0], width=10, max_value=100.0)
+        assert text.count("#") == 5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert render_bar_chart([], [], title="t") == "t"
+
+    def test_zero_values(self):
+        text = render_bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+
+class TestSeriesTable:
+    def test_layout(self):
+        text = render_series_table(
+            "n", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]}
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["n", "s1", "s2"]
+        assert "0.100" in lines[2]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series_table("n", [1, 2], {"s": [0.1]})
+
+
+class TestCdfPlot:
+    def test_shape(self):
+        points = [(float(i), i / 10) for i in range(1, 11)]
+        text = render_cdf(points, height=5, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + label
+        assert "*" in lines[0]
+
+    def test_title(self):
+        text = render_cdf([(1.0, 1.0)], title="CDF")
+        assert text.startswith("CDF")
+
+    def test_empty(self):
+        assert render_cdf([], title="t") == "t"

@@ -1,0 +1,32 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import validation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return validation.compute(duration_s=40.0)
+
+
+class TestValidation:
+    def test_covers_three_policies(self, result):
+        policies = {row.policy for row in result.rows}
+        assert policies == {"receive-all", "client-side", "hide"}
+
+    def test_resume_counts_exact(self, result):
+        assert result.max_relative_error("resumes") == 0.0
+
+    def test_wakelock_time_tight(self, result):
+        assert result.max_relative_error("wakelock_s") < 0.02
+
+    def test_suspend_fraction_tight(self, result):
+        assert result.max_relative_error("suspend_fraction") < 0.02
+
+    def test_render(self, result):
+        text = validation.render(result)
+        assert "DES" in text and "closed form" in text
+
+    def test_validation_of_inputs(self):
+        with pytest.raises(ConfigurationError):
+            validation.compute(duration_s=5.0)

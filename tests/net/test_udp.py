@@ -1,0 +1,79 @@
+import pytest
+
+from repro.errors import FrameDecodeError, FrameEncodeError
+from repro.net.ipv4 import IP_BROADCAST, Ipv4Address
+from repro.net.udp import UdpHeader, build_udp_datagram, parse_udp_datagram
+
+SRC = Ipv4Address.from_string("192.168.1.10")
+
+
+class TestUdp:
+    def test_round_trip(self):
+        datagram = build_udp_datagram(
+            UdpHeader(src_port=40000, dst_port=5353), b"mdns!", SRC, IP_BROADCAST
+        )
+        header, payload = parse_udp_datagram(datagram, SRC, IP_BROADCAST)
+        assert header.dst_port == 5353
+        assert header.src_port == 40000
+        assert payload == b"mdns!"
+
+    def test_checksum_verified(self):
+        datagram = bytearray(
+            build_udp_datagram(UdpHeader(1234, 137), b"hello", SRC, IP_BROADCAST)
+        )
+        datagram[9] ^= 0xFF
+        with pytest.raises(FrameDecodeError):
+            parse_udp_datagram(bytes(datagram), SRC, IP_BROADCAST)
+
+    def test_checksum_skippable(self):
+        datagram = bytearray(
+            build_udp_datagram(UdpHeader(1234, 137), b"hello", SRC, IP_BROADCAST)
+        )
+        datagram[10] ^= 0xFF  # corrupt payload
+        header, _ = parse_udp_datagram(
+            bytes(datagram), SRC, IP_BROADCAST, verify_checksum=False
+        )
+        assert header.dst_port == 137
+
+    def test_zero_checksum_means_unverified(self):
+        datagram = bytearray(
+            build_udp_datagram(UdpHeader(1, 2), b"x", SRC, IP_BROADCAST)
+        )
+        datagram[6:8] = b"\x00\x00"
+        header, _ = parse_udp_datagram(bytes(datagram), SRC, IP_BROADCAST)
+        assert header.dst_port == 2
+
+    def test_empty_payload(self):
+        datagram = build_udp_datagram(UdpHeader(1, 2), b"", SRC, IP_BROADCAST)
+        header, payload = parse_udp_datagram(datagram, SRC, IP_BROADCAST)
+        assert payload == b""
+
+    def test_length_field_honoured(self):
+        datagram = build_udp_datagram(UdpHeader(1, 2), b"abc", SRC, IP_BROADCAST)
+        # Extra trailing bytes (ethernet padding) must be ignored.
+        header, payload = parse_udp_datagram(
+            datagram + b"\x00\x00", SRC, IP_BROADCAST
+        )
+        assert payload == b"abc"
+
+    def test_truncated(self):
+        with pytest.raises(FrameDecodeError):
+            parse_udp_datagram(b"\x00" * 7, SRC, IP_BROADCAST)
+
+    def test_bad_length_field(self):
+        datagram = bytearray(
+            build_udp_datagram(UdpHeader(1, 2), b"abc", SRC, IP_BROADCAST)
+        )
+        datagram[4:6] = (100).to_bytes(2, "big")
+        with pytest.raises(FrameDecodeError):
+            parse_udp_datagram(bytes(datagram), SRC, IP_BROADCAST)
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            UdpHeader(src_port=-1, dst_port=1)
+        with pytest.raises(ValueError):
+            UdpHeader(src_port=1, dst_port=65536)
+
+    def test_oversized_payload(self):
+        with pytest.raises(FrameEncodeError):
+            build_udp_datagram(UdpHeader(1, 2), b"x" * 65529, SRC, IP_BROADCAST)

@@ -1,0 +1,112 @@
+"""Model-based testing: the Client UDP Port Table vs a reference model.
+
+Hypothesis drives random sequences of update/remove operations against
+both the real table and a trivially-correct dict-of-sets reference; all
+queries must agree at every step. This is the strongest guarantee
+available that Algorithm 1's lookups always see exactly the reported
+state.
+"""
+
+from typing import Dict, FrozenSet, Set
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ap.port_table import ClientUdpPortTable
+
+AIDS = st.integers(min_value=1, max_value=8)
+PORTS = st.sets(st.integers(min_value=1, max_value=30), max_size=6)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("update"), AIDS, PORTS),
+        st.tuples(st.just("remove"), AIDS, st.just(frozenset())),
+    ),
+    max_size=40,
+)
+
+
+class ReferenceModel:
+    """The obviously-correct implementation."""
+
+    def __init__(self) -> None:
+        self.ports_by_aid: Dict[int, FrozenSet[int]] = {}
+
+    def update(self, aid: int, ports: FrozenSet[int]) -> None:
+        if ports:
+            self.ports_by_aid[aid] = frozenset(ports)
+        else:
+            self.ports_by_aid.pop(aid, None)
+
+    def remove(self, aid: int) -> None:
+        self.ports_by_aid.pop(aid, None)
+
+    def clients_for_port(self, port: int) -> FrozenSet[int]:
+        return frozenset(
+            aid for aid, ports in self.ports_by_aid.items() if port in ports
+        )
+
+    def pair_count(self) -> int:
+        return sum(len(ports) for ports in self.ports_by_aid.values())
+
+
+class TestAgainstReference:
+    @given(operations)
+    @settings(max_examples=120)
+    def test_every_query_agrees(self, ops):
+        table = ClientUdpPortTable()
+        model = ReferenceModel()
+        for action, aid, ports in ops:
+            if action == "update":
+                table.update_client(aid, ports)
+                model.update(aid, frozenset(ports))
+            else:
+                table.remove_client(aid)
+                model.remove(aid)
+            # Full-state agreement after every operation.
+            for port in range(1, 31):
+                assert table.clients_for_port(port) == model.clients_for_port(
+                    port
+                ), f"port {port} disagrees after {action}({aid})"
+            for check_aid in range(1, 9):
+                assert table.ports_for_client(check_aid) == model.ports_by_aid.get(
+                    check_aid, frozenset()
+                )
+            assert len(table) == model.pair_count()
+            assert table.client_count == len(model.ports_by_aid)
+
+    @given(operations)
+    @settings(max_examples=60)
+    def test_algorithm1_consistency(self, ops):
+        """compute_broadcast_flags over synthetic frames must equal the
+        union of the reference's per-port listeners."""
+        from repro.ap.flags import compute_broadcast_flags
+        from repro.dot11.data import DataFrame
+        from repro.dot11.mac_address import MacAddress
+        from repro.net.packet import build_broadcast_udp_packet
+
+        table = ClientUdpPortTable()
+        model = ReferenceModel()
+        for action, aid, ports in ops:
+            if action == "update":
+                table.update_client(aid, ports)
+                model.update(aid, frozenset(ports))
+            else:
+                table.remove_client(aid)
+                model.remove(aid)
+
+        bssid = MacAddress.from_string("02:aa:00:00:00:01")
+        src = MacAddress.from_string("02:bb:00:00:00:99")
+        buffered_ports = [1, 5, 12, 30]
+        frames = [
+            DataFrame.broadcast_udp(
+                bssid=bssid, source=src,
+                ip_packet=build_broadcast_udp_packet(port, b"x"),
+            )
+            for port in buffered_ports
+        ]
+        flags = compute_broadcast_flags(frames, table)
+        expected: Set[int] = set()
+        for port in buffered_ports:
+            expected |= model.clients_for_port(port)
+        assert flags == frozenset(expected)

@@ -1,0 +1,127 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.entity import Entity
+from repro.sim.medium import DIFS_S, Medium, PHY_OVERHEAD_S, SIFS_S, Transmission
+from repro.units import mbps
+
+
+class Recorder(Entity):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def on_receive(self, transmission):
+        self.received.append((self.now, transmission.frame))
+
+
+def make_network(entity_count=2):
+    sim = Simulator()
+    medium = Medium(sim)
+    entities = [Recorder(f"e{i}") for i in range(entity_count)]
+    for entity in entities:
+        medium.attach(entity)
+    return sim, medium, entities
+
+
+class TestDelivery:
+    def test_broadcast_to_all_but_sender(self):
+        sim, medium, (a, b) = make_network()
+        c = Recorder("c")
+        medium.attach(c)
+        medium.transmit(a, "frame", b"x" * 100, mbps(1))
+        sim.run()
+        assert [f for _, f in b.received] == ["frame"]
+        assert [f for _, f in c.received] == ["frame"]
+        assert a.received == []
+
+    def test_airtime_includes_phy_overhead(self):
+        sim, medium, (a, b) = make_network()
+        assert medium.airtime_of(125, mbps(1)) == pytest.approx(
+            PHY_OVERHEAD_S + 0.001
+        )
+
+    def test_delivery_time(self):
+        sim, medium, (a, b) = make_network()
+        medium.transmit(a, "f", b"x" * 125, mbps(1), gap_s=DIFS_S)
+        sim.run()
+        expected = DIFS_S + PHY_OVERHEAD_S + 0.001 + 1e-6  # + propagation
+        assert b.received[0][0] == pytest.approx(expected)
+
+    def test_busy_channel_serializes(self):
+        sim, medium, (a, b) = make_network()
+        medium.transmit(a, "f1", b"x" * 125, mbps(1))
+        medium.transmit(a, "f2", b"x" * 125, mbps(1))
+        sim.run()
+        t1, t2 = (t for t, _ in b.received)
+        frame_time = PHY_OVERHEAD_S + 0.001
+        assert t2 - t1 == pytest.approx(frame_time + DIFS_S)
+
+    def test_sifs_gap_for_responses(self):
+        sim, medium, (a, b) = make_network()
+        medium.transmit(a, "ack", b"x" * 14, mbps(1), gap_s=SIFS_S)
+        sim.run()
+        assert b.received[0][0] == pytest.approx(
+            SIFS_S + PHY_OVERHEAD_S + 14 * 8 / 1e6 + 1e-6
+        )
+
+    def test_on_complete_callback(self):
+        sim, medium, (a, b) = make_network()
+        completed = []
+        medium.transmit(a, "f", b"x", mbps(1), on_complete=completed.append)
+        sim.run()
+        assert len(completed) == 1
+        assert isinstance(completed[0], Transmission)
+        assert completed[0].length_bytes == 1
+
+    def test_busy_time_accumulates(self):
+        sim, medium, (a, b) = make_network()
+        medium.transmit(a, "f", b"x" * 125, mbps(1))
+        sim.run()
+        assert medium.busy_time == pytest.approx(PHY_OVERHEAD_S + 0.001)
+
+    def test_transmissions_counted(self):
+        sim, medium, (a, b) = make_network()
+        for i in range(3):
+            medium.transmit(a, i, b"x", mbps(1))
+        sim.run()
+        assert medium.transmissions_completed == 3
+
+
+class TestValidation:
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        medium = Medium(sim)
+        entity = Recorder("e")
+        medium.attach(entity)
+        with pytest.raises(SimulationError):
+            medium.attach(entity)
+
+    def test_bad_rate_rejected(self):
+        sim, medium, (a, b) = make_network()
+        with pytest.raises(SimulationError):
+            medium.airtime_of(10, 0)
+
+    def test_entity_requires_attachment(self):
+        entity = Recorder("lonely")
+        with pytest.raises(SimulationError):
+            _ = entity.simulator
+
+    def test_entity_double_attach(self):
+        sim = Simulator()
+        entity = Recorder("e")
+        entity.attach(sim)
+        with pytest.raises(SimulationError):
+            entity.attach(sim)
+
+    def test_transmission_end_time(self):
+        t = Transmission(
+            sender=Recorder("s"),
+            frame="f",
+            frame_bytes=b"x",
+            rate_bps=mbps(1),
+            start_time=1.0,
+            airtime=0.5,
+        )
+        assert t.end_time == 1.5

@@ -1,0 +1,96 @@
+import pytest
+
+from repro.ap.access_point import AccessPoint, ApConfig
+from repro.dot11.control import Ack
+from repro.dot11.data import DataFrame
+from repro.dot11.management import Beacon, UdpPortMessage
+from repro.dot11.mac_address import MacAddress
+from repro.net.packet import build_broadcast_udp_packet
+from repro.sim.engine import Simulator
+from repro.sim.medium import Medium
+from repro.sim.sniffer import ProtocolSniffer
+from repro.station.client import Client, ClientConfig, ClientPolicy
+
+AP_MAC = MacAddress.from_string("02:aa:00:00:00:01")
+WIRED = MacAddress.from_string("02:bb:00:00:00:99")
+
+
+def run_network(sniffer, duration=1.0):
+    sim = Simulator()
+    medium = Medium(sim)
+    ap = AccessPoint(AP_MAC, medium, ApConfig())
+    medium.attach(ap)
+    client = Client(
+        MacAddress.station(1), medium, AP_MAC,
+        ClientConfig(policy=ClientPolicy.HIDE),
+    )
+    medium.attach(client)
+    record = ap.associate(client.mac, hide_capable=True)
+    client.set_aid(record.aid)
+    client.open_port(5353)
+    medium.attach(sniffer)
+    packet = build_broadcast_udp_packet(5353, b"x")
+    sim.schedule(0.3, lambda: ap.deliver_from_ds(packet, WIRED))
+    sim.run(until=duration)
+    return sim
+
+
+class TestSniffer:
+    def test_captures_all_frame_kinds(self):
+        sniffer = ProtocolSniffer()
+        run_network(sniffer)
+        kinds = {c.kind for c in sniffer.captures}
+        assert {"Beacon", "UdpPortMessage", "Ack", "DataFrame"} <= kinds
+
+    def test_filter_restricts_capture(self):
+        sniffer = ProtocolSniffer(frame_filter=(Beacon,))
+        run_network(sniffer)
+        assert sniffer.captures
+        assert all(isinstance(c.frame, Beacon) for c in sniffer.captures)
+
+    def test_of_type(self):
+        sniffer = ProtocolSniffer()
+        run_network(sniffer)
+        assert all(
+            isinstance(c.frame, DataFrame) for c in sniffer.of_type(DataFrame)
+        )
+        assert len(sniffer.of_type(Ack)) >= 1
+
+    def test_live_callback(self):
+        seen = []
+        sniffer = ProtocolSniffer(on_capture=seen.append)
+        run_network(sniffer)
+        assert len(seen) == len(sniffer.captures)
+
+    def test_capacity_drops_counted(self):
+        sniffer = ProtocolSniffer(capacity=3)
+        run_network(sniffer)
+        assert len(sniffer.captures) == 3
+        assert sniffer.dropped > 0
+
+    def test_timestamps_nondecreasing(self):
+        sniffer = ProtocolSniffer()
+        run_network(sniffer)
+        times = [c.time for c in sniffer.captures]
+        assert times == sorted(times)
+
+    def test_transcript_describes_hide_details(self):
+        sniffer = ProtocolSniffer()
+        run_network(sniffer)
+        transcript = sniffer.transcript()
+        assert "btim=" in transcript
+        assert "ports=[5353]" in transcript
+        assert "udp-port=5353" in transcript
+
+    def test_transcript_can_skip_beacons(self):
+        sniffer = ProtocolSniffer()
+        run_network(sniffer)
+        assert "Beacon" not in sniffer.transcript(skip_beacons=True)
+
+    def test_describe_every_kind_is_stringy(self):
+        sniffer = ProtocolSniffer()
+        run_network(sniffer)
+        for captured in sniffer.captures:
+            line = captured.describe()
+            assert captured.kind in line
+            assert "ms" in line

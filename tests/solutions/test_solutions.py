@@ -1,0 +1,158 @@
+"""Solution-level behaviour and cross-solution invariants."""
+
+import pytest
+
+from repro.energy import GALAXY_S4, NEXUS_ONE
+from repro.solutions import (
+    ClientSideSolution,
+    CombinedSolution,
+    HideRealisticSolution,
+    HideSolution,
+    ReceiveAllSolution,
+)
+from repro.traces.generators import generate_trace
+from repro.traces.scenarios import ScenarioSpec
+from repro.traces.usefulness import clustered_fraction_mask, random_fraction_mask
+
+SPEC = ScenarioSpec(
+    name="unit", duration_s=300.0, quiet_rate_fps=1.0, burst_rate_fps=25.0,
+    quiet_dwell_s=8.0, burst_dwell_s=1.5, seed=21,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SPEC)
+
+
+@pytest.fixture(scope="module")
+def mask(trace):
+    return random_fraction_mask(trace, 0.10, seed=9)
+
+
+@pytest.fixture(scope="module")
+def results(trace, mask):
+    return {
+        "receive-all": ReceiveAllSolution().evaluate(trace, mask, NEXUS_ONE),
+        "client-side": ClientSideSolution().evaluate(trace, mask, NEXUS_ONE),
+        "hide": HideSolution().evaluate(trace, mask, NEXUS_ONE),
+        "hide-realistic": HideRealisticSolution().evaluate(trace, mask, NEXUS_ONE),
+        "combined": CombinedSolution().evaluate(trace, mask, NEXUS_ONE),
+    }
+
+
+class TestReceivedFrames:
+    def test_receive_all_gets_everything(self, results, trace):
+        assert results["receive-all"].received_frames == len(trace)
+
+    def test_client_side_receives_everything_too(self, results, trace):
+        assert results["client-side"].received_frames == len(trace)
+
+    def test_hide_receives_only_useful(self, results, mask):
+        assert results["hide"].received_frames == mask.useful_count
+
+    def test_hide_realistic_between_hide_and_all(self, results):
+        assert (
+            results["hide"].received_frames
+            <= results["hide-realistic"].received_frames
+            <= results["receive-all"].received_frames
+        )
+
+    def test_combined_matches_realistic_reception(self, results):
+        assert (
+            results["combined"].received_frames
+            == results["hide-realistic"].received_frames
+        )
+
+
+class TestEnergyOrdering:
+    def test_hide_beats_receive_all(self, results):
+        assert (
+            results["hide"].breakdown.total_j
+            < results["receive-all"].breakdown.total_j
+        )
+
+    def test_hide_beats_client_side(self, results):
+        assert (
+            results["hide"].breakdown.total_j
+            < results["client-side"].breakdown.total_j
+        )
+
+    def test_client_side_never_holds_more_wakelock_than_receive_all(self, results):
+        assert (
+            results["client-side"].breakdown.wakelock_j
+            <= results["receive-all"].breakdown.wakelock_j
+        )
+
+    def test_combined_no_worse_than_realistic(self, results):
+        assert (
+            results["combined"].breakdown.total_j
+            <= results["hide-realistic"].breakdown.total_j + 1e-9
+        )
+
+    def test_beacon_energy_identical_across_solutions(self, results):
+        beacons = {r.breakdown.beacon_j for r in results.values()}
+        assert len(beacons) == 1
+
+    def test_only_hide_variants_pay_overhead(self, results):
+        assert results["receive-all"].breakdown.overhead_j == 0.0
+        assert results["client-side"].breakdown.overhead_j == 0.0
+        for name in ("hide", "hide-realistic", "combined"):
+            assert results[name].breakdown.overhead_j > 0.0
+
+
+class TestSuspendOrdering:
+    def test_hide_sleeps_most(self, results):
+        assert (
+            results["hide"].suspend_fraction
+            >= results["client-side"].suspend_fraction
+            >= results["receive-all"].suspend_fraction
+        )
+
+    def test_fractions_valid(self, results):
+        for result in results.values():
+            assert 0.0 <= result.suspend_fraction <= 1.0
+
+
+class TestFractionSweep:
+    def test_less_useful_means_less_energy_for_hide(self, trace):
+        energies = []
+        for fraction in (0.10, 0.06, 0.02):
+            mask = clustered_fraction_mask(trace, fraction, seed=4)
+            result = HideSolution().evaluate(trace, mask, NEXUS_ONE)
+            energies.append(result.breakdown.total_j)
+        assert energies == sorted(energies, reverse=True)
+
+    def test_receive_all_insensitive_to_fraction(self, trace):
+        a = ReceiveAllSolution().evaluate(
+            trace, random_fraction_mask(trace, 0.10, seed=1), NEXUS_ONE
+        )
+        b = ReceiveAllSolution().evaluate(
+            trace, random_fraction_mask(trace, 0.02, seed=1), NEXUS_ONE
+        )
+        assert a.breakdown.total_j == pytest.approx(b.breakdown.total_j)
+
+
+class TestResultMetadata:
+    def test_labels(self, results, trace):
+        assert results["hide"].solution == "hide"
+        assert results["hide"].trace_name == trace.name
+        assert results["hide"].device == "Nexus One"
+        assert results["hide"].total_frames == len(trace)
+
+    def test_average_power_mw(self, results):
+        result = results["receive-all"]
+        assert result.average_power_mw == pytest.approx(
+            result.breakdown.average_power_w * 1e3
+        )
+
+    def test_savings_vs(self, results):
+        saving = results["hide"].savings_vs(results["receive-all"])
+        assert 0.0 < saving < 1.0
+
+    def test_s4_higher_transitions(self, trace, mask):
+        n1 = ClientSideSolution().evaluate(trace, mask, NEXUS_ONE)
+        s4 = ClientSideSolution().evaluate(trace, mask, GALAXY_S4)
+        assert (
+            s4.breakdown.state_transfer_j > n1.breakdown.state_transfer_j
+        )

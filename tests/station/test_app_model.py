@@ -1,0 +1,136 @@
+"""Application churn driving the port-report machinery (§III-B)."""
+
+import pytest
+
+from repro.ap.access_point import AccessPoint, ApConfig
+from repro.dot11.mac_address import MacAddress
+from repro.errors import ConfigurationError
+from repro.net.packet import build_broadcast_udp_packet
+from repro.sim.engine import Simulator
+from repro.sim.medium import Medium
+from repro.station.app_model import COMMON_APPS, AppProfile, AppScheduler
+from repro.station.client import Client, ClientConfig, ClientPolicy
+from repro.station.power import PowerState
+
+AP_MAC = MacAddress.from_string("02:aa:00:00:00:01")
+WIRED = MacAddress.from_string("02:bb:00:00:00:99")
+
+CHROMECAST = AppProfile("chromecast", frozenset({5353}))
+DLNA = AppProfile("dlna", frozenset({1900}))
+SPOTIFY = AppProfile("spotify", frozenset({57621, 5353}))
+
+
+def build_network():
+    sim = Simulator()
+    medium = Medium(sim)
+    ap = AccessPoint(AP_MAC, medium, ApConfig())
+    medium.attach(ap)
+    client = Client(
+        MacAddress.station(1), medium, AP_MAC,
+        ClientConfig(policy=ClientPolicy.HIDE, wakelock_timeout_s=0.2),
+    )
+    medium.attach(client)
+    record = ap.associate(client.mac, hide_capable=True)
+    client.set_aid(record.aid)
+    return sim, medium, ap, client
+
+
+class TestSchedulerBasics:
+    def test_start_opens_ports(self):
+        sim, medium, ap, client = build_network()
+        scheduler = AppScheduler(client)
+        scheduler.start_app(CHROMECAST)
+        assert client.sockets.reportable_ports() == frozenset({5353})
+        assert scheduler.running_apps == frozenset({"chromecast"})
+
+    def test_stop_closes_ports(self):
+        sim, medium, ap, client = build_network()
+        scheduler = AppScheduler(client)
+        scheduler.start_app(CHROMECAST)
+        scheduler.stop_app("chromecast")
+        assert client.sockets.reportable_ports() == frozenset()
+
+    def test_shared_port_reference_counted(self):
+        sim, medium, ap, client = build_network()
+        scheduler = AppScheduler(client)
+        scheduler.start_app(CHROMECAST)  # 5353
+        scheduler.start_app(SPOTIFY)     # 57621 + 5353
+        scheduler.stop_app("chromecast")
+        # Spotify still needs 5353.
+        assert client.sockets.reportable_ports() == frozenset({5353, 57621})
+        scheduler.stop_app("spotify")
+        assert client.sockets.reportable_ports() == frozenset()
+
+    def test_double_start_rejected(self):
+        sim, medium, ap, client = build_network()
+        scheduler = AppScheduler(client)
+        scheduler.start_app(CHROMECAST)
+        with pytest.raises(ConfigurationError):
+            scheduler.start_app(CHROMECAST)
+
+    def test_stop_unknown_rejected(self):
+        sim, medium, ap, client = build_network()
+        with pytest.raises(ConfigurationError):
+            AppScheduler(client).stop_app("nope")
+
+    def test_common_apps_valid(self):
+        assert len(COMMON_APPS) >= 5
+        names = {app.name for app in COMMON_APPS}
+        assert len(names) == len(COMMON_APPS)
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile("", frozenset({1}))
+        with pytest.raises(ConfigurationError):
+            AppProfile("x", frozenset({0}))
+
+
+class TestEndToEndChurn:
+    def test_ap_table_follows_app_lifecycle(self):
+        sim, medium, ap, client = build_network()
+        scheduler = AppScheduler(client)
+        scheduler.schedule(1.0, "start", CHROMECAST)
+        scheduler.schedule(5.0, "start", DLNA)
+        scheduler.schedule(10.0, "stop", CHROMECAST)
+        sim.run(until=15.0)
+        # After all the churn settles, the AP has exactly DLNA's port.
+        assert ap.port_table.ports_for_client(client.aid) == frozenset({1900})
+        assert client.power.state is PowerState.SUSPENDED
+
+    def test_new_app_changes_filtering(self):
+        sim, medium, ap, client = build_network()
+        scheduler = AppScheduler(client)
+        # Phase 1: no apps -> mDNS is useless, client sleeps through it.
+        packet1 = build_broadcast_udp_packet(5353, b"a")
+        sim.schedule(2.0, lambda: ap.deliver_from_ds(packet1, WIRED))
+        # Phase 2: chromecast starts at t=4 -> mDNS becomes useful.
+        scheduler.schedule(4.0, "start", CHROMECAST)
+        packet2 = build_broadcast_udp_packet(5353, b"b")
+        sim.schedule(6.0, lambda: ap.deliver_from_ds(packet2, WIRED))
+        sim.run(until=10.0)
+        assert client.counters.useful_frames_received == 1
+        assert client.counters.broadcast_frames_ignored >= 1
+
+    def test_stopping_app_stops_wakeups(self):
+        sim, medium, ap, client = build_network()
+        scheduler = AppScheduler(client)
+        scheduler.start_app(CHROMECAST)
+        scheduler.schedule(3.0, "stop", CHROMECAST)
+        for i in range(8):
+            packet = build_broadcast_udp_packet(5353, b"x")
+            sim.schedule(5.0 + i, lambda p=packet: ap.deliver_from_ds(p, WIRED))
+        sim.run(until=15.0)
+        # All post-stop mDNS ignored: no useful frames at all.
+        assert client.counters.useful_frames_received == 0
+        assert client.counters.broadcast_frames_ignored >= 8
+
+    def test_events_logged_with_times(self):
+        sim, medium, ap, client = build_network()
+        scheduler = AppScheduler(client)
+        scheduler.schedule(1.0, "start", CHROMECAST)
+        scheduler.schedule(2.0, "stop", CHROMECAST)
+        sim.run(until=5.0)
+        actions = [(action, name) for _, action, name in scheduler.events]
+        assert actions == [("start", "chromecast"), ("stop", "chromecast")]
+        times = [t for t, _, _ in scheduler.events]
+        assert times[0] >= 1.0 and times[1] >= 2.0  # after wake-up latency

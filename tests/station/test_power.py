@@ -1,0 +1,123 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.station.power import PowerState, PowerStateMachine, StateSegment
+
+TRM = 0.046
+TSP = 0.086
+
+
+def make_machine(initial=PowerState.SUSPENDED):
+    sim = Simulator()
+    machine = PowerStateMachine(sim, TRM, TSP, initial_state=initial)
+    return sim, machine
+
+
+class TestTransitions:
+    def test_wake_from_suspended_takes_trm(self):
+        sim, machine = make_machine()
+        machine.request_wake()
+        assert machine.state is PowerState.RESUMING
+        sim.run()
+        assert machine.state is PowerState.ACTIVE
+        assert sim.now == pytest.approx(TRM)
+        assert machine.counters.resumes == 1
+
+    def test_suspend_takes_tsp(self):
+        sim, machine = make_machine(PowerState.ACTIVE)
+        machine.request_suspend()
+        assert machine.state is PowerState.SUSPENDING
+        sim.run()
+        assert machine.state is PowerState.SUSPENDED
+        assert sim.now == pytest.approx(TSP)
+        assert machine.counters.suspends_completed == 1
+
+    def test_wake_during_suspend_aborts(self):
+        sim, machine = make_machine(PowerState.ACTIVE)
+        machine.request_suspend()
+        sim.schedule(TSP / 2, machine.request_wake)
+        sim.run()
+        assert machine.state is PowerState.ACTIVE
+        assert machine.counters.suspends_aborted == 1
+        assert machine.counters.suspends_completed == 0
+        assert machine.counters.aborted_suspend_time == pytest.approx(TSP / 2)
+
+    def test_wake_while_active_is_noop(self):
+        sim, machine = make_machine(PowerState.ACTIVE)
+        machine.request_wake()
+        assert machine.state is PowerState.ACTIVE
+        assert machine.counters.resumes == 0
+
+    def test_wake_while_resuming_is_noop(self):
+        sim, machine = make_machine()
+        machine.request_wake()
+        machine.request_wake()
+        sim.run()
+        assert machine.counters.resumes == 1
+
+    def test_suspend_only_from_active(self):
+        sim, machine = make_machine()
+        with pytest.raises(SimulationError):
+            machine.request_suspend()
+
+    def test_is_awake(self):
+        sim, machine = make_machine()
+        assert not machine.is_awake
+        machine.request_wake()
+        assert machine.is_awake  # resuming counts as awake (paper s(i)=1)
+
+
+class TestCallbacks:
+    def test_when_active_fires_immediately_if_active(self):
+        sim, machine = make_machine(PowerState.ACTIVE)
+        fired = []
+        machine.when_active(lambda: fired.append(sim.now))
+        assert fired == [0.0]
+
+    def test_when_active_deferred_until_resume_completes(self):
+        sim, machine = make_machine()
+        fired = []
+        machine.request_wake()
+        machine.when_active(lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(TRM)]
+
+    def test_when_active_fires_after_abort(self):
+        sim, machine = make_machine(PowerState.ACTIVE)
+        machine.request_suspend()
+        fired = []
+        machine.when_active(lambda: fired.append(True))
+        sim.schedule(0.01, machine.request_wake)
+        sim.run()
+        assert fired == [True]
+
+
+class TestHistory:
+    def test_segments_cover_timeline(self):
+        sim, machine = make_machine()
+        machine.request_wake()
+        sim.run()
+        machine.request_suspend()
+        sim.run()
+        segments = machine.segments()
+        assert segments[0].state is PowerState.SUSPENDED
+        for earlier, later in zip(segments, segments[1:]):
+            assert earlier.end == later.start
+
+    def test_time_in_state(self):
+        sim, machine = make_machine()
+        sim.schedule(1.0, machine.request_wake)
+        sim.run()
+        # 1.0s suspended + TRM resuming.
+        assert machine.time_in_state(PowerState.SUSPENDED) == pytest.approx(1.0)
+        assert machine.time_in_state(PowerState.RESUMING) == pytest.approx(TRM)
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            StateSegment(PowerState.ACTIVE, 2.0, 1.0)
+
+    def test_negative_durations_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PowerStateMachine(sim, -0.1, 0.1)

@@ -1,0 +1,109 @@
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.station.wakelock import WakelockManager
+
+TAU = 1.0
+
+
+def make_lock(on_expire=None):
+    sim = Simulator()
+    lock = WakelockManager(sim, TAU, on_expire=on_expire)
+    return sim, lock
+
+
+class TestAcquisition:
+    def test_acquire_holds_for_tau(self):
+        expired = []
+        sim, lock = make_lock(lambda: expired.append(sim.now))
+        lock.acquire()
+        assert lock.held
+        sim.run()
+        assert not lock.held
+        assert expired == [pytest.approx(TAU)]
+
+    def test_renewal_resets_expiry(self):
+        expired = []
+        sim, lock = make_lock(lambda: expired.append(sim.now))
+        lock.acquire()
+        sim.schedule(0.5, lock.acquire)
+        sim.run()
+        assert expired == [pytest.approx(1.5)]
+        assert lock.acquisitions == 1
+        assert lock.renewals == 1
+
+    def test_total_held_time_counts_renewals_once(self):
+        sim, lock = make_lock()
+        lock.acquire()
+        sim.schedule(0.5, lock.acquire)
+        sim.run()
+        assert lock.total_held_time() == pytest.approx(1.5)
+
+    def test_separate_holds_accumulate(self):
+        sim, lock = make_lock()
+        lock.acquire()
+        sim.schedule(5.0, lock.acquire)
+        sim.run()
+        assert lock.total_held_time() == pytest.approx(2 * TAU)
+        assert lock.acquisitions == 2
+        assert len(lock.hold_periods()) == 2
+
+    def test_custom_timeout(self):
+        expired = []
+        sim, lock = make_lock(lambda: expired.append(sim.now))
+        lock.acquire(timeout_s=0.25)
+        sim.run()
+        assert expired == [pytest.approx(0.25)]
+
+    def test_release_now(self):
+        expired = []
+        sim, lock = make_lock(lambda: expired.append(sim.now))
+        lock.acquire()
+        lock.release_now()
+        assert not lock.held
+        assert expired == [0.0]
+        sim.run()
+        assert expired == [0.0]  # no double expiry
+
+    def test_expires_at(self):
+        sim, lock = make_lock()
+        assert lock.expires_at is None
+        lock.acquire()
+        assert lock.expires_at == pytest.approx(TAU)
+
+    def test_open_hold_counted_to_now(self):
+        sim, lock = make_lock()
+        lock.acquire()
+        sim.schedule(0.3, lambda: None)
+        sim.run(until=0.3)
+        assert lock.total_held_time() == pytest.approx(0.3)
+
+    def test_renewal_never_shortens(self):
+        expired = []
+        sim, lock = make_lock(lambda: expired.append(sim.now))
+        lock.acquire()  # expires at 1.0
+        sim.schedule(0.2, lambda: lock.acquire(timeout_s=0.0))
+        sim.run()
+        assert expired == [pytest.approx(TAU)]
+
+    def test_zero_acquire_on_idle_lock_expires_via_queue(self):
+        order = []
+        sim, lock = make_lock(lambda: order.append("expired"))
+
+        def same_instant():
+            lock.acquire(timeout_s=0.0)
+            lock.acquire(timeout_s=0.5)  # same batch: extends before expiry
+            order.append("acquired")
+
+        sim.schedule(1.0, same_instant)
+        sim.run()
+        assert order == ["acquired", "expired"]
+        assert sim.now == pytest.approx(1.5)
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WakelockManager(sim, -1.0)
+        lock = WakelockManager(sim, 1.0)
+        with pytest.raises(ValueError):
+            lock.acquire(timeout_s=-0.5)

@@ -1,0 +1,45 @@
+import pytest
+
+from repro.traces.cdf import EmpiricalCdf
+
+
+class TestCdf:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([])
+
+    def test_evaluate(self):
+        cdf = EmpiricalCdf([1, 2, 3, 4])
+        assert cdf.evaluate(0) == 0.0
+        assert cdf.evaluate(1) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(4) == 1.0
+        assert cdf.evaluate(100) == 1.0
+
+    def test_monotone(self):
+        cdf = EmpiricalCdf([5, 1, 3, 3, 2])
+        values = [cdf.evaluate(x / 2) for x in range(0, 14)]
+        assert values == sorted(values)
+
+    def test_stats(self):
+        cdf = EmpiricalCdf([1, 2, 3])
+        assert cdf.mean == pytest.approx(2.0)
+        assert cdf.min == 1
+        assert cdf.max == 3
+        assert len(cdf) == 3
+
+    def test_quantile(self):
+        cdf = EmpiricalCdf(range(100))
+        assert cdf.quantile(0.0) == 0
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(1.0) == 99
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_points_deduplicated(self):
+        cdf = EmpiricalCdf([1, 1, 2])
+        assert cdf.points() == [(1.0, pytest.approx(2 / 3)), (2.0, 1.0)]
+
+    def test_points_reach_one(self):
+        cdf = EmpiricalCdf([7, 8, 9, 9])
+        assert cdf.points()[-1][1] == 1.0

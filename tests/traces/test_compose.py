@@ -1,0 +1,130 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.compose import (
+    concat_traces,
+    merge_traces,
+    repeat_trace,
+    scale_rate,
+)
+
+from tests.conftest import make_trace
+
+
+class TestMerge:
+    def test_overlay_sorted(self):
+        a = make_trace([1.0, 3.0], duration=10.0, port=137)
+        b = make_trace([2.0, 4.0], duration=8.0, port=5353)
+        merged = merge_traces("both", [a, b])
+        assert [r.time for r in merged] == [1.0, 2.0, 3.0, 4.0]
+        assert merged.duration_s == 10.0
+        assert merged.name == "both"
+
+    def test_rates_add(self):
+        a = make_trace([float(i) for i in range(10)], duration=10.0)
+        b = make_trace([float(i) + 0.5 for i in range(10)], duration=10.0)
+        merged = merge_traces("m", [a, b])
+        assert merged.mean_frames_per_second == pytest.approx(
+            a.mean_frames_per_second + b.mean_frames_per_second
+        )
+
+    def test_single_input_identity(self):
+        a = make_trace([1.0], duration=5.0)
+        assert merge_traces("m", [a]).records == a.records
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_traces("m", [])
+
+
+class TestConcat:
+    def test_sequential_shift(self):
+        a = make_trace([1.0], duration=5.0)
+        b = make_trace([2.0], duration=5.0)
+        joined = concat_traces("j", [a, b])
+        assert [r.time for r in joined] == [1.0, 7.0]
+        assert joined.duration_s == 10.0
+
+    def test_three_way(self):
+        a = make_trace([0.5], duration=2.0)
+        joined = concat_traces("j", [a, a, a])
+        assert [r.time for r in joined] == [0.5, 2.5, 4.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            concat_traces("j", [])
+
+
+class TestScale:
+    def test_double_rate(self):
+        trace = make_trace([2.0, 4.0], duration=10.0)
+        scaled = scale_rate(trace, 2.0)
+        assert [r.time for r in scaled] == [1.0, 2.0]
+        assert scaled.duration_s == 5.0
+        assert scaled.mean_frames_per_second == pytest.approx(
+            2 * trace.mean_frames_per_second
+        )
+
+    def test_half_rate(self):
+        trace = make_trace([2.0], duration=10.0)
+        scaled = scale_rate(trace, 0.5)
+        assert scaled.records[0].time == 4.0
+        assert scaled.duration_s == 20.0
+
+    def test_burst_structure_preserved(self):
+        trace = make_trace([1.0, 1.01, 5.0], duration=10.0)
+        scaled = scale_rate(trace, 2.0)
+        gap_ratio = (scaled.records[1].time - scaled.records[0].time) / (
+            trace.records[1].time - trace.records[0].time
+        )
+        assert gap_ratio == pytest.approx(0.5)
+
+    def test_default_name(self):
+        trace = make_trace([1.0], duration=5.0, name="base")
+        assert scale_rate(trace, 2.0).name == "basex2"
+
+    def test_validation(self):
+        trace = make_trace([1.0], duration=5.0)
+        with pytest.raises(ConfigurationError):
+            scale_rate(trace, 0.0)
+
+
+class TestRepeat:
+    def test_repeat(self):
+        trace = make_trace([1.0], duration=3.0)
+        repeated = repeat_trace(trace, 3)
+        assert [r.time for r in repeated] == [1.0, 4.0, 7.0]
+        assert repeated.duration_s == 9.0
+
+    def test_repeat_once_identity_times(self):
+        trace = make_trace([1.0, 2.0], duration=3.0)
+        assert [r.time for r in repeat_trace(trace, 1)] == [1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            repeat_trace(make_trace([1.0], duration=3.0), 0)
+
+
+class TestComposedEnergy:
+    def test_scaled_trace_costs_more(self):
+        """Densifying a trace raises receive-all power (sanity that
+        composition plugs into the whole pipeline)."""
+        from repro.energy.profile import NEXUS_ONE
+        from repro.solutions import ReceiveAllSolution
+        from repro.traces.generators import generate_trace
+        from repro.traces.scenarios import ScenarioSpec
+        from repro.traces.usefulness import random_fraction_mask
+
+        spec = ScenarioSpec("c", 120.0, 0.5, 8.0, 15.0, 3.0, 9)
+        base = generate_trace(spec)
+        dense = scale_rate(base, 3.0)
+        base_result = ReceiveAllSolution().evaluate(
+            base, random_fraction_mask(base, 0.1, seed=1), NEXUS_ONE
+        )
+        dense_result = ReceiveAllSolution().evaluate(
+            dense, random_fraction_mask(dense, 0.1, seed=1), NEXUS_ONE
+        )
+        assert (
+            dense_result.breakdown.average_power_w
+            > base_result.breakdown.average_power_w
+        )

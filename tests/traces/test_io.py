@@ -1,0 +1,165 @@
+import json
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.frame_record import BroadcastFrameRecord
+from repro.traces.io import load_trace_jsonl, save_trace_jsonl, trace_to_csv
+from repro.traces.trace import BroadcastTrace
+from repro.units import mbps
+
+from tests.conftest import make_trace
+
+
+@pytest.fixture
+def trace():
+    records = (
+        BroadcastFrameRecord(
+            time=0.5, udp_port=5353, length_bytes=180, rate_bps=mbps(1),
+            more_data=True, offered_time=0.4,
+        ),
+        BroadcastFrameRecord(
+            time=0.6, udp_port=1900, length_bytes=300, rate_bps=mbps(2),
+        ),
+    )
+    return BroadcastTrace(name="io-test", duration_s=10.0, records=records)
+
+
+class TestJsonl:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace_jsonl(trace, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded.name == trace.name
+        assert loaded.duration_s == trace.duration_s
+        assert loaded.records == trace.records
+
+    def test_empty_trace(self, tmp_path):
+        trace = make_trace([], duration=5.0)
+        path = tmp_path / "empty.jsonl"
+        save_trace_jsonl(trace, path)
+        assert len(load_trace_jsonl(path)) == 0
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            load_trace_jsonl(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_jsonl(path)
+
+    def test_wrong_version_rejected(self, trace, tmp_path):
+        path = tmp_path / "v9.jsonl"
+        save_trace_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_jsonl(path)
+
+    def test_malformed_record_rejected(self, trace, tmp_path):
+        path = tmp_path / "bad-record.jsonl"
+        save_trace_jsonl(trace, path)
+        with path.open("a") as handle:
+            handle.write('{"t": 1.0}\n')
+        with pytest.raises(TraceFormatError):
+            load_trace_jsonl(path)
+
+    def test_frame_count_mismatch_rejected(self, trace, tmp_path):
+        path = tmp_path / "count.jsonl"
+        save_trace_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one record
+        with pytest.raises(TraceFormatError):
+            load_trace_jsonl(path)
+
+    def test_generated_trace_round_trip(self, tmp_path):
+        from repro.traces.generators import generate_trace
+        from repro.traces.scenarios import ScenarioSpec
+
+        spec = ScenarioSpec("rt", 60.0, 1.0, 10.0, 5.0, 1.0, 11)
+        trace = generate_trace(spec)
+        path = tmp_path / "gen.jsonl"
+        save_trace_jsonl(trace, path)
+        assert load_trace_jsonl(path).records == trace.records
+
+
+class TestCsvImport:
+    def test_round_trip(self, trace, tmp_path):
+        from repro.traces.io import load_trace_csv
+
+        path = tmp_path / "trace.csv"
+        trace_to_csv(trace, path)
+        loaded = load_trace_csv(path, name=trace.name, duration_s=trace.duration_s)
+        assert loaded.name == trace.name
+        assert len(loaded) == len(trace)
+        for original, reloaded in zip(trace, loaded):
+            assert reloaded.time == pytest.approx(original.time)
+            assert reloaded.udp_port == original.udp_port
+            assert reloaded.length_bytes == original.length_bytes
+            assert reloaded.more_data == original.more_data
+
+    def test_default_name_and_duration(self, trace, tmp_path):
+        from repro.traces.io import load_trace_csv
+
+        path = tmp_path / "capture.csv"
+        trace_to_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.name == "capture"
+        assert loaded.duration_s == pytest.approx(trace.records[-1].time + 1.0)
+
+    def test_unsorted_rows_sorted_on_import(self, tmp_path):
+        from repro.traces.io import load_trace_csv
+
+        path = tmp_path / "messy.csv"
+        path.write_text(
+            "time_s,udp_port,length_bytes,rate_bps,more_data\n"
+            "2.0,137,100,1000000,0\n"
+            "1.0,5353,100,1000000,0\n"
+        )
+        loaded = load_trace_csv(path)
+        assert [r.time for r in loaded] == [1.0, 2.0]
+
+    def test_missing_columns_rejected(self, tmp_path):
+        from repro.traces.io import load_trace_csv
+
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,udp_port\n1.0,137\n")
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_bad_row_rejected(self, tmp_path):
+        from repro.traces.io import load_trace_csv
+
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time_s,udp_port,length_bytes,rate_bps\n"
+            "abc,137,100,1000000\n"
+        )
+        with pytest.raises(TraceFormatError):
+            load_trace_csv(path)
+
+    def test_empty_csv(self, tmp_path):
+        from repro.traces.io import load_trace_csv
+
+        path = tmp_path / "empty.csv"
+        path.write_text("time_s,udp_port,length_bytes,rate_bps,more_data\n")
+        loaded = load_trace_csv(path)
+        assert len(loaded) == 0
+
+
+class TestCsv:
+    def test_export(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(trace, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 records
+        assert lines[0].startswith("time_s,udp_port")
+        assert "5353" in lines[1]
+        # Missing offered_time renders as empty field.
+        assert lines[2].endswith(",")

@@ -1,0 +1,127 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.usefulness import (
+    clustered_fraction_mask,
+    port_subset_mask,
+    ports_for_target_fraction,
+    random_fraction_mask,
+    spread_fraction_mask,
+)
+
+from tests.conftest import make_record, make_trace
+
+
+@pytest.fixture
+def trace():
+    return make_trace([float(i) * 0.1 for i in range(1000)], duration=200.0)
+
+
+class TestSpreadMask:
+    def test_exact_fraction(self, trace):
+        assignment = spread_fraction_mask(trace, 0.10)
+        assert assignment.useful_count == 100
+        assert assignment.achieved_fraction == pytest.approx(0.10)
+
+    def test_evenly_spread(self, trace):
+        mask = spread_fraction_mask(trace, 0.10).mask
+        positions = [i for i, useful in enumerate(mask) if useful]
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        assert max(gaps) - min(gaps) <= 1
+
+    def test_zero_and_one(self, trace):
+        assert spread_fraction_mask(trace, 0.0).useful_count == 0
+        assert spread_fraction_mask(trace, 1.0).useful_count == len(trace)
+
+    def test_fraction_validated(self, trace):
+        with pytest.raises(ConfigurationError):
+            spread_fraction_mask(trace, 1.5)
+
+
+class TestRandomMask:
+    def test_deterministic_per_seed(self, trace):
+        a = random_fraction_mask(trace, 0.1, seed=5)
+        b = random_fraction_mask(trace, 0.1, seed=5)
+        assert a.mask == b.mask
+        assert a.mask != random_fraction_mask(trace, 0.1, seed=6).mask
+
+    def test_fraction_approximate(self, trace):
+        assignment = random_fraction_mask(trace, 0.10, seed=1)
+        assert assignment.achieved_fraction == pytest.approx(0.10, abs=0.03)
+
+
+class TestClusteredMask:
+    def test_fraction_approximate(self, trace):
+        assignment = clustered_fraction_mask(trace, 0.10, seed=1)
+        assert assignment.achieved_fraction == pytest.approx(0.10, abs=0.04)
+
+    def test_clusters_exist(self, trace):
+        mask = clustered_fraction_mask(trace, 0.10, mean_run_length=3.0, seed=1).mask
+        runs = []
+        current = 0
+        for useful in mask:
+            if useful:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        assert any(run >= 2 for run in runs)
+
+    def test_fewer_wake_events_than_random(self, trace):
+        def events(mask):
+            return sum(
+                1 for i, u in enumerate(mask) if u and (i == 0 or not mask[i - 1])
+            )
+
+        clustered = clustered_fraction_mask(trace, 0.10, seed=1).mask
+        random_mask = random_fraction_mask(trace, 0.10, seed=1).mask
+        assert events(clustered) < events(random_mask)
+
+    def test_run_length_validated(self, trace):
+        with pytest.raises(ConfigurationError):
+            clustered_fraction_mask(trace, 0.1, mean_run_length=0.5)
+
+    def test_strategy_recorded(self, trace):
+        assignment = clustered_fraction_mask(trace, 0.1, mean_run_length=2.0)
+        assert "clustered" in assignment.strategy
+        assert assignment.target_fraction == 0.1
+
+
+class TestPortSubset:
+    def make_port_trace(self):
+        records = []
+        time = 0.0
+        # 70% port 137, 20% port 1900, 10% port 5353.
+        for i in range(100):
+            port = 137 if i % 10 < 7 else (1900 if i % 10 < 9 else 5353)
+            records.append(make_record(time, port=port))
+            time += 0.1
+        return make_trace([], duration=20.0).__class__(
+            name="ports", duration_s=20.0, records=tuple(records)
+        )
+
+    def test_mask_matches_ports(self):
+        trace = self.make_port_trace()
+        assignment = port_subset_mask(trace, frozenset({5353}))
+        assert assignment.useful_count == 10
+        assert all(
+            useful == (record.udp_port == 5353)
+            for useful, record in zip(assignment.mask, trace)
+        )
+
+    def test_greedy_selection_close_to_target(self):
+        trace = self.make_port_trace()
+        ports = ports_for_target_fraction(trace, 0.10)
+        assignment = port_subset_mask(trace, ports)
+        assert assignment.achieved_fraction == pytest.approx(0.10, abs=0.05)
+
+    def test_target_one_selects_everything(self):
+        trace = self.make_port_trace()
+        ports = ports_for_target_fraction(trace, 1.0)
+        assert port_subset_mask(trace, ports).achieved_fraction == 1.0
+
+    def test_empty_trace(self):
+        trace = make_trace([], duration=5.0)
+        assert ports_for_target_fraction(trace, 0.5) == frozenset()
