@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -26,6 +27,7 @@ from repro.dot11.elements.tim import TimElement
 from repro.dot11.management import Beacon, UdpPortMessage
 from repro.dot11.mac_address import MacAddress
 from repro.errors import ConfigurationError
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.entity import Entity
 from repro.sim.medium import Medium, SIFS_S, Transmission
 from repro.units import BEACON_INTERVAL_S, mbps
@@ -70,6 +72,11 @@ class ApCounters:
     association_requests_received: int = 0
     probe_requests_answered: int = 0
     disassociations_received: int = 0
+    #: AID bits set across all BTIM elements sent (observability).
+    btim_bits_set_total: int = 0
+    #: Algorithm 1 executions and their cumulative wall-clock cost.
+    algorithm1_runs: int = 0
+    algorithm1_wall_s: float = 0.0
 
 
 class AccessPoint(Entity):
@@ -94,6 +101,10 @@ class AccessPoint(Entity):
         self._sequence = 0
         #: AIDs flagged in the most recent BTIM (exposed for tests).
         self.last_btim_aids: frozenset = frozenset()
+        #: Structured-event tracer; the null default costs one attribute
+        #: check per DTIM. Swap in a JsonlTracer to record dtim_cycle
+        #: spans and btim events.
+        self.tracer = NULL_TRACER
 
     # -- association -------------------------------------------------
 
@@ -116,9 +127,21 @@ class AccessPoint(Entity):
         return self._sequence
 
     def _beacon_tick(self) -> None:
-        self._transmit_beacon()
-        if self._dtim_count == 0:
-            self._drain_broadcast_buffer()
+        is_dtim = self._dtim_count == 0
+        if is_dtim and self.tracer.enabled:
+            with self.tracer.span(
+                "dtim_cycle",
+                sim_time=self.now,
+                buffered_frames=len(self.broadcast_buffer),
+                clients=len(self.associations),
+            ) as span:
+                self._transmit_beacon()
+                self._drain_broadcast_buffer()
+                span.add(btim_bits=len(self.last_btim_aids))
+        else:
+            self._transmit_beacon()
+            if is_dtim:
+                self._drain_broadcast_buffer()
         self._dtim_count = (self._dtim_count + 1) % self.config.dtim_period
         self.simulator.schedule(self.config.beacon_interval_s, self._beacon_tick)
 
@@ -137,11 +160,31 @@ class AccessPoint(Entity):
         )
         btim = None
         if self.config.hide_enabled and self._dtim_count == 0:
+            wall_start = _time.perf_counter()
             flags = compute_broadcast_flags(
                 self.broadcast_buffer.peek_all(), self.port_table
             )
+            elapsed = _time.perf_counter() - wall_start
+            self.counters.algorithm1_runs += 1
+            self.counters.algorithm1_wall_s += elapsed
+            self.counters.btim_bits_set_total += len(flags)
             self.last_btim_aids = flags
             btim = BtimElement(flags)
+            if self.tracer.enabled:
+                self.tracer.span_record(
+                    "algorithm1",
+                    elapsed,
+                    sim_time=self.now,
+                    btim_bits=len(flags),
+                    buffered_frames=len(self.broadcast_buffer),
+                )
+                self.tracer.event(
+                    "btim",
+                    sim_time=self.now,
+                    bits_set=len(flags),
+                    total_clients=len(self.associations),
+                    aids=sorted(flags),
+                )
         beacon = Beacon(
             bssid=self.mac,
             timestamp_us=int(self.now * 1e6),

@@ -5,9 +5,14 @@ Commands:
 * ``trace generate`` — synthesize a scenario trace to JSONL (and CSV).
 * ``trace inspect`` — volume stats, CDF, and service mix of a trace.
 * ``energy compare`` — receive-all vs client-side vs HIDE on a trace.
+* ``sim run`` — replay a scenario through the event-level simulator,
+  with ``--metrics-out`` (Prometheus/JSONL export) and ``--trace-log``
+  (structured JSONL event trace).
 * ``experiments run`` — regenerate paper tables/figures (all or some).
 * ``experiments headline`` — the headline-claims scorecard.
 * ``overhead capacity`` / ``overhead delay`` — Section V analyses.
+* ``obs summarize`` — aggregate a ``--trace-log`` file into span/event
+  statistics.
 """
 
 from __future__ import annotations
@@ -127,6 +132,19 @@ def cmd_energy_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_tracer(path: Optional[str]):
+    from repro.obs import NULL_TRACER, JsonlTracer
+
+    return JsonlTracer(path) if path else NULL_TRACER
+
+
+def _write_metrics_file(registry, path: str) -> None:
+    from repro.obs import format_for_path, write_metrics
+
+    write_metrics(registry, path, format_for_path(path))
+    print(f"wrote metrics to {path}")
+
+
 def cmd_experiments_run(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
@@ -146,7 +164,86 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
                 print(module.render())
             print("=" * 72)
         return 0
-    print(runner.run_all())
+    from repro.obs import default_registry
+
+    registry = default_registry() if args.metrics_out else None
+    tracer = _make_tracer(args.trace_log)
+    try:
+        print(runner.run_all(tracer=tracer, registry=registry))
+    finally:
+        tracer.close()
+    if args.trace_log:
+        print(f"wrote trace log to {args.trace_log}")
+    if args.metrics_out:
+        _write_metrics_file(registry, args.metrics_out)
+    return 0
+
+
+def cmd_sim_run(args: argparse.Namespace) -> int:
+    from repro.experiments.des_run import (
+        CLIENT_SUMMARY_HEADERS,
+        DesRunConfig,
+        client_summary_rows,
+        run_trace_des,
+    )
+    from repro.station.client import ClientPolicy
+
+    trace = _load_trace(args.source)
+    profile = _DEVICES[args.device]
+    tracer = _make_tracer(args.trace_log)
+    config = DesRunConfig(
+        policy=ClientPolicy(args.policy),
+        client_count=args.clients,
+        useful_fraction=args.fraction,
+        duration_s=args.duration,
+        profile=profile,
+        dtim_period=args.dtim_period,
+        hide_ap=not args.no_hide_ap,
+    )
+    try:
+        result = run_trace_des(trace, config, tracer=tracer)
+    finally:
+        tracer.close()
+    sim, ap = result.simulator, result.access_point
+    print(
+        f"{trace.name}: {result.duration_s:.0f} s simulated under "
+        f"{args.policy} ({config.client_count} clients, {profile.name}), "
+        f"{sim.events_processed} events in {sim.run_wall_time_s:.3f} s wall"
+    )
+    print(
+        f"AP: {ap.counters.dtims_sent} DTIMs, "
+        f"{ap.counters.broadcast_frames_sent} broadcast frames sent, "
+        f"{ap.counters.btim_bits_set_total} BTIM bits set, "
+        f"Algorithm 1 mean "
+        f"{ap.counters.algorithm1_wall_s / max(1, ap.counters.algorithm1_runs) * 1e6:.1f} µs"
+    )
+    ports = ",".join(str(p) for p in sorted(result.useful_ports)) or "none"
+    print(
+        render_table(
+            list(CLIENT_SUMMARY_HEADERS),
+            client_summary_rows(result),
+            title=f"clients (useful ports: {ports})",
+        )
+    )
+    if args.trace_log:
+        print(f"wrote trace log to {args.trace_log}")
+    if args.metrics_out:
+        _write_metrics_file(result.collect_metrics(), args.metrics_out)
+    return 0
+
+
+def cmd_obs_summarize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace_log)
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.trace_log} is not a JSONL trace log: {exc}",
+              file=sys.stderr)
+        return 2
+    print(render_summary(summary))
     return 0
 
 
@@ -221,11 +318,49 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=42)
     compare.set_defaults(func=cmd_energy_compare)
 
+    sim = commands.add_parser("sim", help="event-level simulation")
+    sim_sub = sim.add_subparsers(dest="subcommand", required=True)
+    sim_run = sim_sub.add_parser("run", help="replay a scenario through the DES")
+    sim_run.add_argument("source", help="scenario name or JSONL path")
+    sim_run.add_argument(
+        "--policy",
+        choices=["receive-all", "client-side", "hide"],
+        default="hide",
+    )
+    sim_run.add_argument("--clients", type=int, default=3)
+    sim_run.add_argument("--fraction", type=float, default=0.10)
+    sim_run.add_argument("--device", choices=sorted(_DEVICES), default="nexus-one")
+    sim_run.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated seconds (capped at the trace duration)",
+    )
+    sim_run.add_argument("--dtim-period", type=int, default=1)
+    sim_run.add_argument(
+        "--no-hide-ap", action="store_true",
+        help="run against a plain 802.11 AP (no BTIM)",
+    )
+    sim_run.add_argument(
+        "--metrics-out",
+        help="write a metrics export (.prom = Prometheus text, .jsonl = JSON lines)",
+    )
+    sim_run.add_argument(
+        "--trace-log", help="write structured events/spans as JSONL"
+    )
+    sim_run.set_defaults(func=cmd_sim_run)
+
     experiments = commands.add_parser("experiments", help="paper reproductions")
     experiments_sub = experiments.add_subparsers(dest="subcommand", required=True)
     run = experiments_sub.add_parser("run", help="regenerate tables/figures")
     run.add_argument(
         "--only", help="comma-separated module names, e.g. figure10,figure11"
+    )
+    run.add_argument(
+        "--metrics-out",
+        help="write section-timing metrics (full runs only)",
+    )
+    run.add_argument(
+        "--trace-log",
+        help="write per-section spans as JSONL (full runs only)",
     )
     run.set_defaults(func=cmd_experiments_run)
     headline = experiments_sub.add_parser("headline", help="claims scorecard")
@@ -246,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
     delay.add_argument("--ports", type=int, default=50)
     delay.add_argument("--buffered", type=float, default=10.0)
     delay.set_defaults(func=cmd_overhead_delay)
+
+    obs = commands.add_parser("obs", help="observability tooling")
+    obs_sub = obs.add_subparsers(dest="subcommand", required=True)
+    summarize = obs_sub.add_parser("summarize", help="aggregate a trace log")
+    summarize.add_argument("trace_log", help="path to a JSONL trace log")
+    summarize.set_defaults(func=cmd_obs_summarize)
 
     return parser
 

@@ -1,8 +1,15 @@
-"""Run every experiment and assemble one report."""
+"""Run every experiment and assemble one report.
+
+Each section is timed with a wall clock; the report ends with a
+"Section timings" table so slow figures are visible in CI logs, and a
+tracer (``--trace-log`` on the CLI) receives one ``experiment_section``
+span per section for machine post-processing.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+import time
+from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import (
     figure6,
@@ -18,25 +25,70 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.context import EvaluationContext, default_context
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER
+from repro.reporting import render_table
 
 _RULE = "=" * 72
 
+#: (section name, render callable taking the shared context).
+_SECTIONS: Tuple[Tuple[str, Callable[[EvaluationContext], str]], ...] = (
+    ("table1", lambda context: table1.render()),
+    ("table2", lambda context: table2.render()),
+    ("figure6", lambda context: figure6.render(figure6.compute(context))),
+    ("figure7", lambda context: figure7.render(figure7.compute(context))),
+    ("figure8", lambda context: figure8.render(figure8.compute(context))),
+    ("figure9", lambda context: figure9.render(figure9.compute(context))),
+    ("figure10", lambda context: figure10.render()),
+    ("figure11", lambda context: figure11.render()),
+    ("figure12", lambda context: figure12.render()),
+    ("headline", lambda context: headline.render(headline.compute(context))),
+    ("sensitivity", lambda context: sensitivity.render(sensitivity.compute(context))),
+)
 
-def run_all(context: Optional[EvaluationContext] = None) -> str:
-    """Execute all table/figure reproductions; return the full report."""
+
+def render_section_timings(timings: List[Tuple[str, float]]) -> str:
+    """The per-section wall-time table appended to every full run."""
+    total = sum(elapsed for _, elapsed in timings)
+    rows = [
+        [name, f"{elapsed:.3f}", f"{elapsed / total:.1%}" if total > 0 else "-"]
+        for name, elapsed in timings
+    ]
+    rows.append(["total", f"{total:.3f}", "100.0%" if total > 0 else "-"])
+    return render_table(
+        ["section", "wall time (s)", "share"], rows, title="Section timings"
+    )
+
+
+def run_all(
+    context: Optional[EvaluationContext] = None,
+    tracer=NULL_TRACER,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Execute all table/figure reproductions; return the full report.
+
+    ``tracer`` receives an ``experiment_section`` span per section;
+    ``registry`` (when given) accumulates the same wall times as
+    ``repro_experiment_section_seconds_total`` counters.
+    """
     context = context or default_context()
     sections: List[str] = []
-    sections.append(table1.render())
-    sections.append(table2.render())
-    sections.append(figure6.render(figure6.compute(context)))
-    sections.append(figure7.render(figure7.compute(context)))
-    sections.append(figure8.render(figure8.compute(context)))
-    sections.append(figure9.render(figure9.compute(context)))
-    sections.append(figure10.render())
-    sections.append(figure11.render())
-    sections.append(figure12.render())
-    sections.append(headline.render(headline.compute(context)))
-    sections.append(sensitivity.render(sensitivity.compute(context)))
+    timings: List[Tuple[str, float]] = []
+    for name, render_section in _SECTIONS:
+        start = time.perf_counter()
+        text = render_section(context)
+        elapsed = time.perf_counter() - start
+        timings.append((name, elapsed))
+        sections.append(text)
+        if tracer.enabled:
+            tracer.span_record("experiment_section", elapsed, section=name)
+        if registry is not None:
+            registry.counter(
+                "repro_experiment_section_seconds_total",
+                "Wall time per experiment section",
+                labels={"section": name},
+            ).inc(elapsed)
+    sections.append(render_section_timings(timings))
     return ("\n" + _RULE + "\n").join(sections)
 
 

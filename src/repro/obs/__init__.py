@@ -1,0 +1,70 @@
+"""Observability for the HIDE reproduction: metrics, tracing, exporters.
+
+The subsystem is zero-dependency and pull-based: simulator components
+keep their cheap native counters, :mod:`repro.obs.collectors` mirrors
+them into a :class:`MetricsRegistry` on demand, and
+:mod:`repro.obs.exporters` renders the registry for Prometheus
+scrapers, JSONL post-processing, or run reports. Live instrumentation
+(spans and events) goes through a tracer; the default
+:data:`NULL_TRACER` keeps the hot path at one attribute check.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.tracing import (
+    JsonlTracer,
+    NULL_TRACER,
+    NullTracer,
+    read_trace_jsonl,
+    tracer_to_string_buffer,
+)
+from repro.obs.exporters import (
+    format_for_path,
+    render_metrics_jsonl,
+    render_metrics_table,
+    render_prometheus,
+    write_metrics,
+)
+from repro.obs.collectors import (
+    collect_access_point,
+    collect_all,
+    collect_client,
+    collect_medium,
+    collect_simulator,
+)
+from repro.obs.summarize import TraceSummary, render_summary, summarize_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceSummary",
+    "collect_access_point",
+    "collect_all",
+    "collect_client",
+    "collect_medium",
+    "collect_simulator",
+    "default_registry",
+    "format_for_path",
+    "read_trace_jsonl",
+    "render_metrics_jsonl",
+    "render_metrics_table",
+    "render_prometheus",
+    "render_summary",
+    "set_default_registry",
+    "summarize_trace",
+    "tracer_to_string_buffer",
+    "write_metrics",
+]

@@ -1,0 +1,132 @@
+"""Aggregate a JSONL trace log into a human summary.
+
+Backs the ``repro obs summarize <trace-log>`` command: reads the
+records a :class:`~repro.obs.tracing.JsonlTracer` wrote, groups them by
+name, and reports counts and wall-time statistics per span name plus
+counts per event name — enough to answer "where did the time go" and
+"how often did this happen" without opening the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional, Tuple, Union
+
+from repro.obs.tracing import read_trace_jsonl
+from repro.reporting import render_table
+
+
+@dataclass
+class SpanStats:
+    """Wall-time statistics for one span name."""
+
+    name: str
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.durations)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.durations)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def max_s(self) -> float:
+        return max(self.durations) if self.durations else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile over the recorded durations (q in [0, 100])."""
+        if not self.durations:
+            return 0.0
+        ordered = sorted(self.durations)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything the summarize command reports."""
+
+    record_count: int
+    span_stats: Tuple[SpanStats, ...]
+    event_counts: Dict[str, int]
+    sim_time_range: Optional[Tuple[float, float]]
+    wall_time_range: Optional[Tuple[float, float]]
+
+
+def summarize_trace(source: Union[str, IO[str]]) -> TraceSummary:
+    """Aggregate a trace log from a path or open stream."""
+    records = read_trace_jsonl(source)
+    spans: Dict[str, SpanStats] = {}
+    events: Dict[str, int] = {}
+    sim_times: List[float] = []
+    wall_times: List[float] = []
+    for record in records:
+        name = str(record.get("name", "?"))
+        if record.get("type") == "span":
+            stats = spans.setdefault(name, SpanStats(name))
+            stats.durations.append(float(record.get("wall_duration_s", 0.0)))
+        else:
+            events[name] = events.get(name, 0) + 1
+        if "sim_time" in record:
+            sim_times.append(float(record["sim_time"]))
+        if "wall_time" in record:
+            wall_times.append(float(record["wall_time"]))
+    ordered = tuple(
+        sorted(spans.values(), key=lambda s: s.total_s, reverse=True)
+    )
+    return TraceSummary(
+        record_count=len(records),
+        span_stats=ordered,
+        event_counts=dict(sorted(events.items())),
+        sim_time_range=(min(sim_times), max(sim_times)) if sim_times else None,
+        wall_time_range=(min(wall_times), max(wall_times)) if wall_times else None,
+    )
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The summary as report text (tables via repro.reporting)."""
+    blocks: List[str] = []
+    header = f"trace log: {summary.record_count} records"
+    if summary.sim_time_range is not None:
+        lo, hi = summary.sim_time_range
+        header += f", sim time {lo:.3f}-{hi:.3f} s"
+    if summary.wall_time_range is not None:
+        lo, hi = summary.wall_time_range
+        header += f", wall span {hi - lo:.3f} s"
+    blocks.append(header)
+    if summary.span_stats:
+        rows = [
+            [
+                stats.name,
+                str(stats.count),
+                f"{stats.total_s * 1e3:.3f}",
+                f"{stats.mean_s * 1e6:.1f}",
+                f"{stats.percentile(50) * 1e6:.1f}",
+                f"{stats.percentile(95) * 1e6:.1f}",
+                f"{stats.max_s * 1e6:.1f}",
+            ]
+            for stats in summary.span_stats
+        ]
+        blocks.append(
+            render_table(
+                ["span", "count", "total (ms)", "mean (µs)",
+                 "p50 (µs)", "p95 (µs)", "max (µs)"],
+                rows,
+                title="Spans by total wall time",
+            )
+        )
+    if summary.event_counts:
+        rows = [[name, str(count)] for name, count in summary.event_counts.items()]
+        blocks.append(render_table(["event", "count"], rows, title="Events"))
+    return "\n\n".join(blocks)

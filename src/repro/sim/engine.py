@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -23,13 +24,15 @@ class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancel().
 
     Cancellation is lazy: the heap entry stays but is skipped when
-    popped, which keeps scheduling O(log n).
+    popped, which keeps scheduling O(log n). The simulator is notified
+    so its live-event count stays exact without scanning the heap.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_simulator")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     @property
     def time(self) -> float:
@@ -40,7 +43,7 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._simulator._cancel(self._event)
 
 
 class Simulator:
@@ -55,6 +58,9 @@ class Simulator:
         self._heap: List[_ScheduledEvent] = []
         self._sequence = 0
         self._events_processed = 0
+        self._events_cancelled = 0
+        self._pending_live = 0
+        self._run_wall_time = 0.0
         self._running = False
 
     @property
@@ -67,8 +73,34 @@ class Simulator:
         return self._events_processed
 
     @property
+    def events_cancelled(self) -> int:
+        """Events cancelled before they could fire."""
+        return self._events_cancelled
+
+    @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) scheduled events — O(1).
+
+        Maintained incrementally on schedule/cancel/pop so observability
+        collectors can read it as a gauge without scanning the heap.
+        """
+        return self._pending_live
+
+    @property
+    def heap_depth(self) -> int:
+        """Heap entries including cancelled tombstones awaiting pop."""
+        return len(self._heap)
+
+    @property
+    def run_wall_time_s(self) -> float:
+        """Wall-clock seconds spent inside :meth:`run` so far."""
+        return self._run_wall_time
+
+    def _cancel(self, event: _ScheduledEvent) -> None:
+        if not event.cancelled:
+            event.cancelled = True
+            self._events_cancelled += 1
+            self._pending_live -= 1
 
     def schedule(
         self,
@@ -97,7 +129,8 @@ class Simulator:
         event = _ScheduledEvent(time, priority, self._sequence, callback)
         self._sequence += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._pending_live += 1
+        return EventHandle(event, self)
 
     def step(self) -> bool:
         """Run the next pending event. Returns False if none remain."""
@@ -109,6 +142,7 @@ class Simulator:
                 raise SimulationError("event heap yielded a past event")
             self._now = event.time
             self._events_processed += 1
+            self._pending_live -= 1
             event.callback()
             return True
         return False
@@ -123,6 +157,7 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        wall_start = _time.perf_counter()
         try:
             processed = 0
             while self._heap:
@@ -141,6 +176,7 @@ class Simulator:
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._run_wall_time += _time.perf_counter() - wall_start
             self._running = False
 
     def _peek(self) -> Optional[_ScheduledEvent]:

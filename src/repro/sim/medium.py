@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 from collections import deque
 
 from repro.errors import SimulationError
@@ -84,6 +84,10 @@ class Medium:
         self._loss_probability = loss_probability
         self._loss_rng = random.Random(loss_seed)
         self._frames_dropped = 0
+        self._airtime_by_kind: Dict[str, float] = {}
+        self._frames_by_kind: Dict[str, int] = {}
+        self._queue_wait_accum = 0.0
+        self._frames_queued = 0
 
     @property
     def transmissions_completed(self) -> int:
@@ -97,6 +101,26 @@ class Medium:
     @property
     def frames_dropped(self) -> int:
         return self._frames_dropped
+
+    @property
+    def airtime_by_kind(self) -> Dict[str, float]:
+        """Channel-occupancy seconds per frame class name (a copy)."""
+        return dict(self._airtime_by_kind)
+
+    @property
+    def frames_by_kind(self) -> Dict[str, int]:
+        """Transmission counts per frame class name (a copy)."""
+        return dict(self._frames_by_kind)
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Total seconds frames spent deferring behind a busy channel."""
+        return self._queue_wait_accum
+
+    @property
+    def frames_queued(self) -> int:
+        """Frames that found the channel busy and had to defer."""
+        return self._frames_queued
 
     def attach(self, entity: Entity) -> None:
         if entity in self._entities:
@@ -129,6 +153,12 @@ class Medium:
         airtime = self.airtime_of(len(frame_bytes), rate_bps)
         now = self._simulator.now
         start = max(now, self._busy_until) + gap_s
+        kind = type(frame).__name__
+        self._airtime_by_kind[kind] = self._airtime_by_kind.get(kind, 0.0) + airtime
+        self._frames_by_kind[kind] = self._frames_by_kind.get(kind, 0) + 1
+        if self._busy_until > now:
+            self._queue_wait_accum += self._busy_until - now
+            self._frames_queued += 1
         transmission = Transmission(
             sender=sender,
             frame=frame,

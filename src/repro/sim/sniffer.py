@@ -12,10 +12,16 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Type
 
 from repro.ap.flags import frame_udp_port
-from repro.dot11.association_frames import AssociationRequest, AssociationResponse
+from repro.dot11.association_frames import (
+    STATUS_SUCCESS,
+    AssociationRequest,
+    AssociationResponse,
+)
 from repro.dot11.control import Ack, PsPoll
 from repro.dot11.data import DataFrame
+from repro.dot11.disassociation import Disassociation
 from repro.dot11.management import Beacon, UdpPortMessage
+from repro.dot11.probe_frames import ProbeRequest, ProbeResponse
 from repro.sim.entity import Entity
 from repro.sim.medium import Transmission
 
@@ -59,11 +65,26 @@ class CapturedFrame:
             more = " more-data" if frame.more_data else ""
             return prefix + f"to={target} udp-port={port}{more}"
         if isinstance(frame, AssociationRequest):
-            return prefix + (
+            detail = (
                 f"from={frame.source} hide={'yes' if frame.hide_capable else 'no'}"
             )
+            if frame.initial_ports:
+                detail += f" ports={sorted(frame.initial_ports)}"
+            return prefix + detail
         if isinstance(frame, AssociationResponse):
-            return prefix + f"to={frame.destination} aid={frame.aid}"
+            status = "ok" if frame.status == STATUS_SUCCESS else "denied"
+            return prefix + f"to={frame.destination} status={status} aid={frame.aid}"
+        if isinstance(frame, ProbeRequest):
+            ssid = "*" if frame.is_wildcard else frame.ssid
+            return prefix + f"from={frame.source} ssid={ssid}"
+        if isinstance(frame, ProbeResponse):
+            hide = "yes" if frame.hide_supported else "no"
+            return prefix + (
+                f"to={frame.destination} ssid={frame.ssid}"
+                f" channel={frame.channel} hide={hide}"
+            )
+        if isinstance(frame, Disassociation):
+            return prefix + f"from={frame.source} reason={frame.reason}"
         return prefix
 
 

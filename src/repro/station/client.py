@@ -25,6 +25,7 @@ from repro.dot11.data import DataFrame
 from repro.dot11.management import Beacon, UdpPortMessage
 from repro.dot11.mac_address import MacAddress
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import EventHandle
 from repro.sim.entity import Entity
 from repro.sim.medium import Medium, Transmission
@@ -113,6 +114,10 @@ class Client(Entity):
         self._retries_left = 0
         self._report_sequence = 0
         self._frame_sequence = 0
+        #: Structured-event tracer; the null default keeps the receive
+        #: path at one attribute check. Swap in a JsonlTracer to record
+        #: wakeup events with the power state they interrupted.
+        self.tracer = NULL_TRACER
 
     # -- lifecycle -----------------------------------------------------
 
@@ -394,6 +399,16 @@ class Client(Entity):
 
     def _wake_for_frame(self) -> None:
         assert self.power is not None
+        if self.tracer.enabled:
+            state = self.power.state
+            if state is PowerState.SUSPENDED or state is PowerState.SUSPENDING:
+                self.tracer.event(
+                    "wakeup",
+                    sim_time=self.now,
+                    client=str(self.mac),
+                    aid=self.aid,
+                    from_state=state.value,
+                )
         self.power.request_wake()
 
     # -- unicast (secondary path) ----------------------------------------

@@ -1,0 +1,210 @@
+"""Registry semantics: counters, gauges, histograms, isolation."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("repro_test_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("repro_test_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0.0
+
+    def test_set_total_mirrors_external_counter(self):
+        c = Counter("repro_test_total")
+        c.set_total(41)
+        c.set_total(42)
+        assert c.value == 42.0
+        with pytest.raises(ValueError):
+            c.set_total(-1)
+
+    def test_reset(self):
+        c = Counter("repro_test_total")
+        c.inc(7)
+        c.reset()
+        assert c.value == 0.0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("has spaces")
+        with pytest.raises(ValueError):
+            Counter("")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("repro_depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_function_gauge_reads_live(self):
+        box = {"v": 1.0}
+        g = Gauge("repro_depth")
+        g.set_function(lambda: box["v"])
+        assert g.value == 1.0
+        box["v"] = 9.0
+        assert g.value == 9.0
+        g.set(3.0)  # explicit set clears the function
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("repro_lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+        assert h.min == pytest.approx(0.05)
+        assert h.max == pytest.approx(50.0)
+        cumulative = dict(h.cumulative_buckets())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 2
+        assert cumulative[10.0] == 3
+        assert cumulative[math.inf] == 4
+
+    def test_boundary_value_counts_in_its_le_bucket(self):
+        h = Histogram("repro_lat_seconds", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        cumulative = dict(h.cumulative_buckets())
+        assert cumulative[1.0] == 1
+
+    def test_percentile_interpolates(self):
+        h = Histogram("repro_lat_seconds", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)
+        # All mass in the (1, 2] bucket: every percentile interpolates
+        # inside it (p0 degenerates to the bucket's lower edge).
+        assert 1.0 < h.percentile(50) <= 2.0
+        assert 1.0 <= h.percentile(0) <= 2.0
+
+    def test_percentile_tail_falls_back_to_max(self):
+        h = Histogram("repro_lat_seconds", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.percentile(99) == pytest.approx(100.0)
+
+    def test_percentile_empty_and_range_checks(self):
+        h = Histogram("repro_lat_seconds")
+        assert h.percentile(95) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_lat_seconds", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("repro_lat_seconds", buckets=(1.0, 1.0))
+
+    def test_default_buckets_cover_microseconds_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] <= 1e-5
+        assert DEFAULT_BUCKETS[-1] >= 10.0
+
+    def test_timer_observes(self):
+        h = Histogram("repro_lat_seconds")
+        with h.time():
+            pass
+        assert h.count == 1
+        assert h.sum >= 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_events_total", "help text")
+        b = reg.counter("repro_events_total")
+        assert a is b
+        assert b.help == "help text"
+
+    def test_label_sets_are_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_frames_total", labels={"kind": "Beacon"})
+        b = reg.counter("repro_frames_total", labels={"kind": "DataFrame"})
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+        assert len(reg) == 2
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("repro_g", labels={"a": "1", "b": "2"})
+        b = reg.gauge("repro_g", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_thing")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_thing")
+
+    def test_collect_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total")
+        reg.counter("repro_a_total")
+        names = [m.name for m in reg.collect()]
+        assert names == sorted(names)
+
+    def test_reset_zeroes_but_keeps_series(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c").inc(5)
+        reg.histogram("repro_h").observe(1.0)
+        reg.reset()
+        assert reg.get("repro_c").value == 0.0
+        assert reg.get("repro_h").count == 0
+        assert len(reg) == 2
+
+    def test_clear_forgets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c")
+        reg.clear()
+        assert len(reg) == 0
+        # Name is free again, even with a different type.
+        reg.gauge("repro_c")
+
+    def test_registries_are_isolated(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_c").inc()
+        assert b.get("repro_c") is None
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c", labels={"x": "1"}).inc(2)
+        reg.histogram("repro_h").observe(0.5)
+        entries = {e["name"]: e for e in reg.snapshot()}
+        assert entries["repro_c"]["value"] == 2.0
+        assert entries["repro_c"]["labels"] == {"x": "1"}
+        assert entries["repro_h"]["count"] == 1
+        assert "p95" in entries["repro_h"]
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        isolated = MetricsRegistry()
+        previous = set_default_registry(isolated)
+        try:
+            assert default_registry() is isolated
+            default_registry().counter("repro_swap_total").inc()
+            assert previous.get("repro_swap_total") is None
+        finally:
+            assert set_default_registry(previous) is isolated
+        assert default_registry() is previous

@@ -1,0 +1,81 @@
+"""Trace summarization: grouping, statistics, rendering."""
+
+import io
+
+import pytest
+
+from repro.obs.summarize import SpanStats, render_summary, summarize_trace
+from repro.obs.tracing import tracer_to_string_buffer
+
+
+def _sample_trace() -> io.StringIO:
+    tracer, buffer = tracer_to_string_buffer()
+    tracer.span_record("dtim_cycle", 0.002, sim_time=0.1)
+    tracer.span_record("dtim_cycle", 0.004, sim_time=0.2)
+    tracer.span_record("algorithm1", 0.0001, sim_time=0.1)
+    tracer.event("btim", sim_time=0.1, bits_set=2)
+    tracer.event("btim", sim_time=0.2, bits_set=0)
+    tracer.event("wakeup", sim_time=0.15, aid=1)
+    buffer.seek(0)
+    return buffer
+
+
+class TestSpanStats:
+    def test_basic_statistics(self):
+        stats = SpanStats("x", durations=[1.0, 3.0, 2.0])
+        assert stats.count == 3
+        assert stats.total_s == pytest.approx(6.0)
+        assert stats.mean_s == pytest.approx(2.0)
+        assert stats.max_s == pytest.approx(3.0)
+        assert stats.percentile(50) == pytest.approx(2.0)
+        assert stats.percentile(0) == pytest.approx(1.0)
+        assert stats.percentile(100) == pytest.approx(3.0)
+
+    def test_empty_and_singleton(self):
+        assert SpanStats("x").percentile(95) == 0.0
+        assert SpanStats("x", durations=[0.5]).percentile(95) == 0.5
+
+
+class TestSummarizeTrace:
+    def test_groups_spans_and_events(self):
+        summary = summarize_trace(_sample_trace())
+        assert summary.record_count == 6
+        by_name = {s.name: s for s in summary.span_stats}
+        assert by_name["dtim_cycle"].count == 2
+        assert by_name["algorithm1"].count == 1
+        assert summary.event_counts == {"btim": 2, "wakeup": 1}
+
+    def test_spans_ordered_by_total_time(self):
+        summary = summarize_trace(_sample_trace())
+        totals = [s.total_s for s in summary.span_stats]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_time_ranges(self):
+        summary = summarize_trace(_sample_trace())
+        assert summary.sim_time_range == (pytest.approx(0.1), pytest.approx(0.2))
+        assert summary.wall_time_range is not None
+
+    def test_empty_trace(self):
+        summary = summarize_trace(io.StringIO(""))
+        assert summary.record_count == 0
+        assert summary.span_stats == ()
+        assert summary.sim_time_range is None
+
+    def test_reads_from_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(_sample_trace().getvalue())
+        assert summarize_trace(str(path)).record_count == 6
+
+
+class TestRenderSummary:
+    def test_render_contains_tables(self):
+        text = render_summary(summarize_trace(_sample_trace()))
+        assert "trace log: 6 records" in text
+        assert "Spans by total wall time" in text
+        assert "dtim_cycle" in text
+        assert "Events" in text
+        assert "wakeup" in text
+
+    def test_render_empty(self):
+        text = render_summary(summarize_trace(io.StringIO("")))
+        assert "0 records" in text

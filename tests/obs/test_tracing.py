@@ -1,0 +1,121 @@
+"""Tracer behaviour: null no-ops, JSONL round-trips, span semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullSpan,
+    read_trace_jsonl,
+    tracer_to_string_buffer,
+)
+
+
+class TestNullTracer:
+    def test_disabled_flag_is_the_hot_path_guard(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_every_method_is_a_silent_noop(self):
+        assert NULL_TRACER.event("x", sim_time=1.0, foo=1) is None
+        assert NULL_TRACER.span_record("x", 0.1) is None
+        NULL_TRACER.flush()
+        NULL_TRACER.close()
+
+    def test_span_context_manager_absorbs_everything(self):
+        with NULL_TRACER.span("x", sim_time=2.0, a=1) as span:
+            assert isinstance(span, NullSpan)
+            span.add(b=2)
+
+    def test_null_objects_carry_no_state(self):
+        # __slots__ = () keeps the disabled path allocation-free.
+        with pytest.raises(AttributeError):
+            NULL_TRACER.anything = 1
+
+
+class TestJsonlTracer:
+    def test_event_round_trip(self):
+        tracer, buffer = tracer_to_string_buffer()
+        tracer.event("wakeup", sim_time=4.5, client="02:00:00:00:00:01", aid=3)
+        buffer.seek(0)
+        records = read_trace_jsonl(buffer)
+        assert len(records) == 1
+        record = records[0]
+        assert record["type"] == "event"
+        assert record["name"] == "wakeup"
+        assert record["sim_time"] == 4.5
+        assert record["aid"] == 3
+        assert record["wall_time"] >= 0.0
+
+    def test_event_without_sim_time_omits_the_key(self):
+        tracer, buffer = tracer_to_string_buffer()
+        tracer.event("tick")
+        buffer.seek(0)
+        assert "sim_time" not in read_trace_jsonl(buffer)[0]
+
+    def test_span_records_duration_and_added_fields(self):
+        tracer, buffer = tracer_to_string_buffer()
+        with tracer.span("dtim_cycle", sim_time=1.0, clients=2) as span:
+            span.add(btim_bits=1)
+        buffer.seek(0)
+        record = read_trace_jsonl(buffer)[0]
+        assert record["type"] == "span"
+        assert record["name"] == "dtim_cycle"
+        assert record["clients"] == 2
+        assert record["btim_bits"] == 1
+        assert record["wall_duration_s"] >= 0.0
+        assert record["wall_time"] >= 0.0
+
+    def test_span_tags_exceptions(self):
+        tracer, buffer = tracer_to_string_buffer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        buffer.seek(0)
+        assert read_trace_jsonl(buffer)[0]["error"] == "RuntimeError"
+
+    def test_span_record_direct(self):
+        tracer, buffer = tracer_to_string_buffer()
+        tracer.span_record("algorithm1", 0.0025, sim_time=3.0, btim_bits=4)
+        buffer.seek(0)
+        record = read_trace_jsonl(buffer)[0]
+        assert record["wall_duration_s"] == 0.0025
+        assert record["btim_bits"] == 4
+
+    def test_frozensets_serialize_as_sorted_lists(self):
+        tracer, buffer = tracer_to_string_buffer()
+        tracer.event("btim", aids=frozenset({3, 1, 2}))
+        buffer.seek(0)
+        assert read_trace_jsonl(buffer)[0]["aids"] == [1, 2, 3]
+
+    def test_records_written_counts(self):
+        tracer, buffer = tracer_to_string_buffer()
+        tracer.event("a")
+        tracer.span_record("b", 0.1)
+        assert tracer.records_written == 2
+
+    def test_path_sink_owns_its_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(str(path)) as tracer:
+            tracer.event("hello", n=1)
+        records = read_trace_jsonl(str(path))
+        assert len(records) == 1
+        assert records[0]["name"] == "hello"
+
+    def test_output_is_one_json_object_per_line(self):
+        tracer, buffer = tracer_to_string_buffer()
+        tracer.event("a")
+        tracer.event("b")
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_wall_times_are_monotone(self):
+        tracer, buffer = tracer_to_string_buffer()
+        tracer.event("first")
+        tracer.event("second")
+        buffer.seek(0)
+        first, second = read_trace_jsonl(buffer)
+        assert second["wall_time"] >= first["wall_time"]

@@ -146,3 +146,56 @@ class TestRun:
         sim.schedule(1.0, nested)
         sim.run()
         assert len(errors) == 1
+
+class TestObservability:
+    def test_pending_count_is_maintained_not_scanned(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        handles[0].cancel()
+        handles[1].cancel()
+        assert sim.pending_events == 3
+        sim.step()  # fires t=3 (the first live event)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_double_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+        assert sim.events_cancelled == 1
+
+    def test_heap_depth_includes_tombstones(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.heap_depth == 2  # tombstone still buried in the heap
+        assert sim.pending_events == 1
+
+    def test_run_wall_time_accumulates(self):
+        sim = Simulator()
+        assert sim.run_wall_time_s == 0.0
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        first = sim.run_wall_time_s
+        assert first > 0.0
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.run_wall_time_s >= first
+
+    def test_pending_events_after_chained_scheduling(self):
+        sim = Simulator()
+
+        def chain(depth):
+            if depth < 3:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 4

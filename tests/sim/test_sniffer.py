@@ -94,3 +94,90 @@ class TestSniffer:
             line = captured.describe()
             assert captured.kind in line
             assert "ms" in line
+
+class TestDescribeManagementFrames:
+    """describe() detail for the probe/association/disassociation frames."""
+
+    @staticmethod
+    def _line(frame) -> str:
+        from repro.sim.sniffer import CapturedFrame
+
+        return CapturedFrame(
+            time=0.5, frame=frame, length_bytes=64, rate_bps=1e6
+        ).describe()
+
+    def test_probe_request_wildcard(self):
+        from repro.dot11.probe_frames import ProbeRequest
+
+        line = self._line(ProbeRequest(source=MacAddress.station(1)))
+        assert "ProbeRequest" in line
+        assert "ssid=*" in line
+
+    def test_probe_request_directed(self):
+        from repro.dot11.probe_frames import ProbeRequest
+
+        line = self._line(
+            ProbeRequest(source=MacAddress.station(1), ssid="hide-net")
+        )
+        assert "ssid=hide-net" in line
+
+    def test_probe_response(self):
+        from repro.dot11.probe_frames import ProbeResponse
+
+        line = self._line(
+            ProbeResponse(
+                destination=MacAddress.station(1),
+                bssid=AP_MAC,
+                ssid="hide-net",
+                channel=11,
+                hide_supported=True,
+            )
+        )
+        assert "ssid=hide-net" in line
+        assert "channel=11" in line
+        assert "hide=yes" in line
+
+    def test_association_request_with_ports(self):
+        from repro.dot11.association_frames import AssociationRequest
+
+        line = self._line(
+            AssociationRequest(
+                source=MacAddress.station(1),
+                bssid=AP_MAC,
+                ssid="hide-net",
+                hide_capable=True,
+                initial_ports=frozenset({5353, 137}),
+            )
+        )
+        assert "hide=yes" in line
+        assert "ports=[137, 5353]" in line
+
+    def test_association_response_status(self):
+        from repro.dot11.association_frames import (
+            STATUS_DENIED,
+            AssociationResponse,
+        )
+
+        denied = self._line(
+            AssociationResponse(
+                destination=MacAddress.station(1),
+                bssid=AP_MAC,
+                status=STATUS_DENIED,
+                aid=0,
+            )
+        )
+        assert "status=denied" in denied
+
+    def test_disassociation_reason(self):
+        from repro.dot11.disassociation import Disassociation
+
+        line = self._line(
+            Disassociation(
+                source=MacAddress.station(1),
+                destination=AP_MAC,
+                bssid=AP_MAC,
+                reason=8,
+            )
+        )
+        assert "Disassociation" in line
+        assert "reason=8" in line
