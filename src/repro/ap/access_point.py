@@ -49,12 +49,21 @@ class ApConfig:
     beacon_rate_bps: float = mbps(1)
     broadcast_rate_bps: float = mbps(1)
     hide_enabled: bool = True
+    #: When set, port-table entries not refreshed within this many
+    #: seconds are expired at the next DTIM — the recovery that stops a
+    #: crashed client from pinning broadcast flags forever. Pair it with
+    #: a client-side refresh interval comfortably below the TTL.
+    port_entry_ttl_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.beacon_interval_s <= 0:
             raise ConfigurationError("beacon interval must be positive")
         if not 1 <= self.dtim_period <= 255:
             raise ConfigurationError(f"DTIM period out of range: {self.dtim_period}")
+        if self.port_entry_ttl_s is not None and self.port_entry_ttl_s <= 0:
+            raise ConfigurationError(
+                f"port entry TTL must be positive: {self.port_entry_ttl_s}"
+            )
 
 
 @dataclass
@@ -74,6 +83,8 @@ class ApCounters:
     disassociations_received: int = 0
     #: AID bits set across all BTIM elements sent (observability).
     btim_bits_set_total: int = 0
+    #: Port-table entries aged out by the refresh-timer TTL.
+    port_entries_expired: int = 0
     #: Algorithm 1 executions and their cumulative wall-clock cost.
     algorithm1_runs: int = 0
     algorithm1_wall_s: float = 0.0
@@ -160,6 +171,15 @@ class AccessPoint(Entity):
         )
         btim = None
         if self.config.hide_enabled and self._dtim_count == 0:
+            if self.config.port_entry_ttl_s is not None:
+                expired = self.port_table.expire_older_than(
+                    self.now - self.config.port_entry_ttl_s
+                )
+                self.counters.port_entries_expired += len(expired)
+                if expired and self.tracer.enabled:
+                    self.tracer.event(
+                        "port_entries_expired", sim_time=self.now, aids=expired
+                    )
             wall_start = _time.perf_counter()
             flags = compute_broadcast_flags(
                 self.broadcast_buffer.peek_all(), self.port_table
@@ -306,7 +326,9 @@ class AccessPoint(Entity):
             )
         else:
             if request.hide_capable and request.initial_ports:
-                self.port_table.update_client(record.aid, request.initial_ports)
+                self.port_table.update_client(
+                    record.aid, request.initial_ports, now=self.now
+                )
             response = AssociationResponse(
                 destination=request.source,
                 bssid=self.mac,
@@ -324,7 +346,7 @@ class AccessPoint(Entity):
         if record is None:
             return  # not associated: silently dropped, no ACK
         self.counters.port_messages_received += 1
-        self.port_table.update_client(record.aid, message.ports)
+        self.port_table.update_client(record.aid, message.ports, now=self.now)
         ack = Ack(receiver=message.source)
         self.counters.acks_sent += 1
         self._medium.transmit(

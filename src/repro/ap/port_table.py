@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 
 @dataclass
@@ -22,12 +22,15 @@ class PortTableStats:
     deletes: int = 0
     lookups: int = 0
     refreshes: int = 0
+    #: Clients whose entries aged out of the refresh-timer TTL.
+    expirations: int = 0
 
     def reset(self) -> None:
         self.inserts = 0
         self.deletes = 0
         self.lookups = 0
         self.refreshes = 0
+        self.expirations = 0
 
 
 class ClientUdpPortTable:
@@ -36,6 +39,7 @@ class ClientUdpPortTable:
     def __init__(self) -> None:
         self._clients_by_port: Dict[int, Set[int]] = {}
         self._ports_by_aid: Dict[int, FrozenSet[int]] = {}
+        self._updated_at: Dict[int, float] = {}
         self.stats = PortTableStats()
 
     def __len__(self) -> int:
@@ -62,11 +66,15 @@ class ClientUdpPortTable:
                 del self._clients_by_port[port]
         self.stats.deletes += 1
 
-    def update_client(self, aid: int, ports: Iterable[int]) -> None:
+    def update_client(
+        self, aid: int, ports: Iterable[int], now: float = 0.0
+    ) -> None:
         """Replace the stored port set for ``aid`` (one UDP Port Message).
 
         Implements the paper's refresh: delete every old (port, aid)
-        pair, then insert every new one.
+        pair, then insert every new one. ``now`` timestamps the report
+        so :meth:`expire_older_than` can age out clients that stopped
+        refreshing (crashed without disassociating).
         """
         new_ports = frozenset(ports)
         for port in new_ports:
@@ -79,14 +87,70 @@ class ClientUdpPortTable:
             self._insert(port, aid)
         if new_ports:
             self._ports_by_aid[aid] = new_ports
+            self._updated_at[aid] = now
         else:
             self._ports_by_aid.pop(aid, None)
+            self._updated_at.pop(aid, None)
         self.stats.refreshes += 1
 
     def remove_client(self, aid: int) -> None:
         """Drop all state for a disassociated client."""
         for port in self._ports_by_aid.pop(aid, frozenset()):
             self._delete(port, aid)
+        self._updated_at.pop(aid, None)
+
+    def expire_older_than(self, cutoff: float) -> List[int]:
+        """Age out clients whose last report predates ``cutoff``.
+
+        This is the AP-side recovery for crashed clients: without it, a
+        client that died without disassociating pins its broadcast flag
+        bits forever and every surviving station pays the wake-ups.
+        Returns the expired AIDs (sorted, for deterministic logs).
+        """
+        expired = sorted(
+            aid for aid, updated in self._updated_at.items() if updated < cutoff
+        )
+        for aid in expired:
+            self.remove_client(aid)
+        self.stats.expirations += len(expired)
+        return expired
+
+    def updated_at(self, aid: int) -> Optional[float]:
+        """When ``aid`` last reported, or None if it has no entries."""
+        return self._updated_at.get(aid)
+
+    def aids(self) -> FrozenSet[int]:
+        """AIDs with at least one stored (port, AID) pair."""
+        return frozenset(self._ports_by_aid)
+
+    def check_consistency(self) -> List[str]:
+        """Cross-check the two internal maps; returns problem strings.
+
+        The table maintains ``port -> {aids}`` and ``aid -> {ports}`` as
+        exact inverses; the invariant suite calls this every sweep so a
+        refresh/expiry bug surfaces at the event that introduced it.
+        """
+        problems: List[str] = []
+        for aid, ports in self._ports_by_aid.items():
+            for port in ports:
+                if aid not in self._clients_by_port.get(port, ()):
+                    problems.append(
+                        f"aid {aid} claims port {port} but the port map disagrees"
+                    )
+            if aid not in self._updated_at:
+                problems.append(f"aid {aid} has entries but no refresh timestamp")
+        for port, aids in self._clients_by_port.items():
+            if not aids:
+                problems.append(f"port {port} has an empty AID set")
+            for aid in aids:
+                if port not in self._ports_by_aid.get(aid, frozenset()):
+                    problems.append(
+                        f"port {port} lists aid {aid} but the aid map disagrees"
+                    )
+        for aid in self._updated_at:
+            if aid not in self._ports_by_aid:
+                problems.append(f"aid {aid} has a timestamp but no entries")
+        return problems
 
     def clients_for_port(self, port: int) -> FrozenSet[int]:
         """Algorithm 1, line 4: table lookup with the port as the key."""

@@ -23,7 +23,7 @@ from typing import List, Optional
 
 from repro.analysis import CapacityAnalysis, DelayAnalysis
 from repro.energy.profile import ALL_PROFILES, GALAXY_S4, NEXUS_ONE
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.reporting import render_cdf, render_table
 from repro.solutions import ClientSideSolution, HideSolution, ReceiveAllSolution
 from repro.traces import (
@@ -188,9 +188,19 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
     )
     from repro.station.client import ClientPolicy
 
+    from repro.faults import FaultPlan
+    from repro.sim.invariants import InvariantViolation
+
     trace = _load_trace(args.source)
     profile = _DEVICES[args.device]
     tracer = _make_tracer(args.trace_log)
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except (ConfigurationError, ValueError, OSError) as exc:
+            print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
+            return 2
     config = DesRunConfig(
         policy=ClientPolicy(args.policy),
         client_count=args.clients,
@@ -199,9 +209,17 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         profile=profile,
         dtim_period=args.dtim_period,
         hide_ap=not args.no_hide_ap,
+        fault_plan=fault_plan,
+        check_invariants=args.check_invariants,
+        recovery=not args.no_recovery,
+        port_entry_ttl_s=args.port_ttl,
+        port_refresh_interval_s=args.port_refresh,
     )
     try:
         result = run_trace_des(trace, config, tracer=tracer)
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 3
     finally:
         tracer.close()
     sim, ap = result.simulator, result.access_point
@@ -217,6 +235,28 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         f"Algorithm 1 mean "
         f"{ap.counters.algorithm1_wall_s / max(1, ap.counters.algorithm1_runs) * 1e6:.1f} µs"
     )
+    if result.fault_injector is not None:
+        injector = result.fault_injector
+        drops = (
+            ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(injector.drops_by_kind.items())
+            )
+            or "none"
+        )
+        crashed = sum(c.counters.crashes for c in result.clients)
+        print(
+            f"faults (seed {injector.plan.seed}): "
+            f"{injector.injected_drops} frames dropped ({drops}), "
+            f"{crashed} client crash(es)"
+        )
+    if result.invariants is not None:
+        print(
+            f"invariants: {result.invariants.checks_run} sweeps, 0 violations; "
+            f"broadcast delivered "
+            f"{result.invariants.broadcast_frames_delivered}"
+            f"/{result.invariants.broadcast_frames_aired}"
+        )
     ports = ",".join(str(p) for p in sorted(result.useful_ports)) or "none"
     print(
         render_table(
@@ -335,6 +375,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated seconds (capped at the trace duration)",
     )
     sim_run.add_argument("--dtim-period", type=int, default=1)
+    sim_run.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="seeded fault plan: a JSON file path or an inline spec like "
+             "'loss=0.1,beacon=0.02,seed=7,crash=0@5:15' "
+             "(capitalized keys override loss per frame kind)",
+    )
+    sim_run.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the invariant suite during and after the simulation "
+             "(exit 3 on violation)",
+    )
+    sim_run.add_argument(
+        "--no-recovery", action="store_true",
+        help="disable the client loss-recovery protocol under a fault plan",
+    )
+    sim_run.add_argument(
+        "--port-ttl", type=float, default=None, metavar="SECONDS",
+        help="AP refresh-timer TTL for Client UDP Port Table entries",
+    )
+    sim_run.add_argument(
+        "--port-refresh", type=float, default=None, metavar="SECONDS",
+        help="client keep-alive period for re-sending port reports "
+             "(must stay below --port-ttl)",
+    )
     sim_run.add_argument(
         "--no-hide-ap", action="store_true",
         help="run against a plain 802.11 AP (no BTIM)",

@@ -42,6 +42,11 @@ class HideOverheadParams:
     btim_bytes: int = 6
     #: Standard (pre-HIDE) beacon length used to prorate E_b^u per byte.
     standard_beacon_bytes: int = 65
+    #: Mean transmissions each port report costs on air. 1.0 is the
+    #: paper's lossless channel; under uniform loss ``p`` with
+    #: retransmit-until-ACK recovery the expectation is ``1/(1-p)``
+    #: (each attempt independently survives with probability 1-p).
+    expected_transmissions_per_report: float = 1.0
 
     def __post_init__(self) -> None:
         if self.port_message_interval_s <= 0:
@@ -52,6 +57,10 @@ class HideOverheadParams:
             raise ConfigurationError("message rate must be positive")
         if self.btim_bytes < 0 or self.standard_beacon_bytes <= 0:
             raise ConfigurationError("bad beacon size parameters")
+        if self.expected_transmissions_per_report < 1.0:
+            raise ConfigurationError(
+                "expected transmissions per report cannot be below 1"
+            )
 
     @classmethod
     def for_bss(
@@ -207,7 +216,9 @@ class EnergyModel:
             * (overhead.btim_bytes / overhead.standard_beacon_bytes)
             * dtim_count
         )
-        message_count = duration_s / overhead.port_message_interval_s
+        message_count = (
+            duration_s / overhead.port_message_interval_s
+        ) * overhead.expected_transmissions_per_report
         message_energy = (
             message_count * self.profile.tx_power_w * overhead.message_airtime_s
         )

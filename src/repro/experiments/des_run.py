@@ -15,6 +15,8 @@ the whole run lands in a metrics registry ready for export.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Tuple
 
@@ -23,15 +25,27 @@ from repro.dot11.mac_address import MacAddress
 from repro.energy.meter import ClientEnergyMeter, MeteredEnergy
 from repro.energy.profile import DeviceEnergyProfile, NEXUS_ONE
 from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultPlan
 from repro.net.packet import build_broadcast_udp_packet
 from repro.obs.collectors import collect_all
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Simulator
+from repro.sim.invariants import InvariantSuite
 from repro.sim.medium import Medium
 from repro.station.client import Client, ClientConfig, ClientPolicy
 from repro.traces.trace import BroadcastTrace
 from repro.traces.usefulness import ports_for_target_fraction
+
+#: Metric families whose values depend on host wall-clock speed, not on
+#: the simulated system — excluded from determinism fingerprints.
+_WALL_CLOCK_METRICS = frozenset(
+    {
+        "repro_sim_run_wall_seconds_total",
+        "repro_sim_wall_seconds_per_sim_second",
+        "repro_ap_algorithm1_wall_seconds_total",
+    }
+)
 
 AP_MAC = MacAddress.from_string("02:aa:00:00:00:01")
 WIRED_SOURCE = MacAddress.from_string("02:bb:00:00:00:99")
@@ -54,6 +68,20 @@ class DesRunConfig:
     dtim_period: int = 1
     #: When False the AP is a plain 802.11 AP (receive-all world).
     hide_ap: bool = True
+    #: Seeded failure schedule; ``None`` (or a null plan) runs the exact
+    #: legacy lossless medium — byte-identical to no plan at all.
+    fault_plan: Optional[FaultPlan] = None
+    #: Attach :class:`~repro.sim.invariants.InvariantSuite` and check
+    #: periodically plus at end of run (raising on violation).
+    check_invariants: bool = False
+    #: Whether clients run the loss-recovery protocol when a (non-null)
+    #: fault plan is active. Disable to demonstrate the invariants
+    #: catching the unprotected protocol.
+    recovery: bool = True
+    #: AP-side refresh-timer TTL for port-table entries.
+    port_entry_ttl_s: Optional[float] = None
+    #: Client keep-alive period for re-sending port reports.
+    port_refresh_interval_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.client_count < 1:
@@ -64,6 +92,15 @@ class DesRunConfig:
             )
         if self.duration_s is not None and self.duration_s <= 0:
             raise ConfigurationError("duration must be positive")
+        if (
+            self.port_entry_ttl_s is not None
+            and self.port_refresh_interval_s is not None
+            and self.port_refresh_interval_s >= self.port_entry_ttl_s
+        ):
+            raise ConfigurationError(
+                "port refresh interval must stay below the AP's entry TTL, "
+                "or live clients age out between keep-alives"
+            )
 
 
 @dataclass
@@ -78,6 +115,10 @@ class DesRunResult:
     access_point: AccessPoint
     clients: List[Client]
     config: DesRunConfig
+    #: Live when the run had a non-null fault plan.
+    fault_injector: Optional[FaultInjector] = None
+    #: Live when the run checked invariants.
+    invariants: Optional[InvariantSuite] = None
 
     def meter(self) -> List[MeteredEnergy]:
         """Per-client energy from what each client actually did."""
@@ -99,6 +140,23 @@ class DesRunResult:
             clients=self.clients,
         )
 
+    def deterministic_fingerprint(self) -> str:
+        """SHA-256 over everything the simulation determined.
+
+        Covers every collected metric except the wall-clock families
+        (those measure the host, not the protocol), serialized as
+        canonical JSON. Two runs with the same seed and fault plan must
+        produce the same fingerprint; the determinism regression test
+        pins exactly that.
+        """
+        snapshot = [
+            entry
+            for entry in self.collect_metrics(MetricsRegistry()).snapshot()
+            if entry["name"] not in _WALL_CLOCK_METRICS
+        ]
+        payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 def run_trace_des(
     trace: BroadcastTrace,
@@ -117,12 +175,26 @@ def run_trace_des(
     duration = config.duration_s if config.duration_s is not None else trace.duration_s
     duration = min(duration, trace.duration_s)
 
+    # A null plan is indistinguishable from no plan: no injector is
+    # attached and no recovery machinery is armed, so zero-loss runs
+    # reproduce the legacy numbers exactly.
+    active_plan = (
+        config.fault_plan
+        if config.fault_plan is not None and not config.fault_plan.is_null
+        else None
+    )
+    injector = FaultInjector(active_plan) if active_plan is not None else None
+
     simulator = Simulator()
-    medium = Medium(simulator)
+    medium = Medium(simulator, fault_injector=injector)
     ap = AccessPoint(
         AP_MAC,
         medium,
-        ApConfig(dtim_period=config.dtim_period, hide_enabled=config.hide_ap),
+        ApConfig(
+            dtim_period=config.dtim_period,
+            hide_enabled=config.hide_ap,
+            port_entry_ttl_s=config.port_entry_ttl_s,
+        ),
     )
     ap.tracer = tracer
     medium.attach(ap)
@@ -134,6 +206,8 @@ def run_trace_des(
         wakelock_timeout_s=profile.wakelock_timeout_s,
         resume_duration_s=profile.resume_duration_s,
         suspend_duration_s=profile.suspend_duration_s,
+        loss_recovery=active_plan is not None and config.recovery,
+        port_refresh_interval_s=config.port_refresh_interval_s,
     )
     clients: List[Client] = []
     for index in range(config.client_count):
@@ -147,6 +221,23 @@ def run_trace_des(
         for port in useful_ports:
             client.open_port(port)
         clients.append(client)
+
+    if active_plan is not None:
+        for event in active_plan.crashes:
+            target = clients[event.client_index % len(clients)]
+            simulator.schedule_at(event.crash_at_s, target.crash)
+            if event.rejoin_at_s is not None:
+                simulator.schedule_at(event.rejoin_at_s, target.rejoin)
+
+    invariants: Optional[InvariantSuite] = None
+    if config.check_invariants:
+        invariants = InvariantSuite(
+            simulator,
+            medium,
+            ap,
+            clients,
+            seed=active_plan.seed if active_plan is not None else None,
+        )
 
     for record in trace:
         if record.time > duration:
@@ -162,6 +253,8 @@ def run_trace_des(
         )
 
     simulator.run(until=duration)
+    if invariants is not None:
+        invariants.check_final()
     return DesRunResult(
         trace_name=trace.name,
         duration_s=duration,
@@ -171,6 +264,8 @@ def run_trace_des(
         access_point=ap,
         clients=clients,
         config=config,
+        fault_injector=injector,
+        invariants=invariants,
     )
 
 
@@ -178,10 +273,11 @@ def client_summary_rows(result: DesRunResult) -> List[List[str]]:
     """Per-client report rows: wakeups, suspend share, metered power."""
     rows: List[List[str]] = []
     for client, metered in zip(result.clients, result.meter()):
-        assert client.power is not None and client.wakelock is not None
+        if client.power is None or client.wakelock is None:
+            continue  # never attached (should not happen in a real run)
         rows.append(
             [
-                str(client.aid),
+                str(client.aid if client.aid is not None else client.last_aid),
                 str(client.power.counters.resumes),
                 str(client.power.counters.suspends_aborted),
                 f"{client.wakelock.total_held_time():.2f}",

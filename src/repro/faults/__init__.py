@@ -1,0 +1,17 @@
+"""Seeded fault injection for the DES: plans, and their realization."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BEACON_KIND,
+    MAX_CLOCK_JITTER_S,
+    ClientCrashEvent,
+    FaultPlan,
+)
+
+__all__ = [
+    "BEACON_KIND",
+    "MAX_CLOCK_JITTER_S",
+    "ClientCrashEvent",
+    "FaultInjector",
+    "FaultPlan",
+]

@@ -76,6 +76,12 @@ def collect_medium(medium, registry: Optional[MetricsRegistry] = None) -> Metric
             "Transmissions by frame kind",
             labels={"kind": kind},
         ).set_total(count)
+    for kind, count in sorted(medium.drops_by_kind.items()):
+        registry.counter(
+            "repro_medium_injected_drops_total",
+            "Frames dropped by the fault injector, by frame kind",
+            labels={"kind": kind},
+        ).set_total(count)
     return registry
 
 
@@ -135,7 +141,12 @@ def collect_access_point(ap, registry: Optional[MetricsRegistry] = None) -> Metr
     registry.gauge(
         "repro_ap_port_table_clients", "Clients with a stored report", labels=labels
     ).set(table.client_count)
-    for op in ("inserts", "deletes", "lookups", "refreshes"):
+    registry.counter(
+        "repro_ap_port_entries_expired_total",
+        "Port-table clients aged out by the refresh-timer TTL",
+        labels=labels,
+    ).set_total(counters.port_entries_expired)
+    for op in ("inserts", "deletes", "lookups", "refreshes", "expirations"):
         registry.counter(
             "repro_ap_port_table_ops_total",
             "Port-table operations by kind",
@@ -145,11 +156,19 @@ def collect_access_point(ap, registry: Optional[MetricsRegistry] = None) -> Metr
 
 
 def collect_client(client, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
-    """Station activity: wakeups, suspend churn, wakelock time, frames."""
+    """Station activity: wakeups, suspend churn, wakelock time, frames.
+
+    Tolerates components in any lifecycle state: a client that crashed
+    mid-run has ``aid = None``, so the label falls back to the last AID
+    it ever held — the same series keeps accumulating across a
+    crash/rejoin instead of forking a second one (or worse, the
+    pre-crash series going silently stale).
+    """
     registry = registry if registry is not None else default_registry()
     labels = {"client": str(client.mac)}
-    if client.aid is not None:
-        labels["aid"] = str(client.aid)
+    aid = client.aid if client.aid is not None else getattr(client, "last_aid", None)
+    if aid is not None:
+        labels["aid"] = str(aid)
     counters = client.counters
     for field_name, help_text in (
         ("beacons_received", "Beacons decoded"),
@@ -165,6 +184,12 @@ def collect_client(client, registry: Optional[MetricsRegistry] = None) -> Metric
         ("acks_received", "ACKs received"),
         ("ps_polls_sent", "PS-Polls sent"),
         ("unicast_frames_received", "Unicast frames received"),
+        ("useful_frames_missed", "Useful delivered frames slept through"),
+        ("beacon_misses_detected", "Beacon watchdog firings"),
+        ("conservative_fallbacks", "Falls into conservative receive-all"),
+        ("port_refreshes", "Keep-alive port reports sent"),
+        ("crashes", "Injected crashes"),
+        ("rejoins", "Rejoins after an injected crash"),
     ):
         registry.counter(
             f"repro_client_{field_name}_total", help_text, labels=labels
@@ -191,6 +216,11 @@ def collect_client(client, registry: Optional[MetricsRegistry] = None) -> Metric
             "Seconds spent in suspends that were aborted",
             labels=labels,
         ).set_total(power.aborted_suspend_time)
+        registry.counter(
+            "repro_client_forced_suspends_total",
+            "Abrupt drops to SUSPENDED (crash injection)",
+            labels=labels,
+        ).set_total(power.forced_suspends)
     if client.wakelock is not None:
         registry.counter(
             "repro_client_wakelock_held_seconds_total",

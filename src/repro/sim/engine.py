@@ -46,6 +46,26 @@ class EventHandle:
         self._simulator._cancel(self._event)
 
 
+class RecurringHandle:
+    """Handle for :meth:`Simulator.every`; cancel() stops future firings."""
+
+    __slots__ = ("_handle", "_cancelled")
+
+    def __init__(self) -> None:
+        self._handle: Optional[EventHandle] = None
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -131,6 +151,36 @@ class Simulator:
         heapq.heappush(self._heap, event)
         self._pending_live += 1
         return EventHandle(event, self)
+
+    def every(
+        self,
+        interval_s: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        first_delay_s: Optional[float] = None,
+    ) -> RecurringHandle:
+        """Run ``callback`` every ``interval_s`` seconds until cancelled.
+
+        The first firing is after ``first_delay_s`` (default: one
+        interval). Used by periodic machinery — invariant sweeps,
+        keep-alive refreshes — that must not die with a single event.
+        """
+        if interval_s <= 0:
+            raise SimulationError(
+                f"recurring interval must be positive: {interval_s}"
+            )
+        recurring = RecurringHandle()
+
+        def tick() -> None:
+            if recurring.cancelled:
+                return
+            callback()
+            if not recurring.cancelled:
+                recurring._handle = self.schedule(interval_s, tick, priority)
+
+        initial = interval_s if first_delay_s is None else first_delay_s
+        recurring._handle = self.schedule(initial, tick, priority)
+        return recurring
 
     def step(self) -> bool:
         """Run the next pending event. Returns False if none remain."""

@@ -29,6 +29,11 @@ class Entity:
         return self._simulator
 
     @property
+    def is_attached(self) -> bool:
+        """Whether this entity has ever been attached to a simulator."""
+        return self._simulator is not None
+
+    @property
     def now(self) -> float:
         return self.simulator.now
 

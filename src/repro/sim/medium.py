@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional
 from collections import deque
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.entity import Entity
 from repro.units import us
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 #: 802.11b long-preamble PHY overhead: 192 bits at 1 Mb/s = 192 µs.
 PHY_OVERHEAD_S = us(192)
@@ -63,12 +66,19 @@ class Medium:
         propagation_delay_s: float = PROPAGATION_DELAY_S,
         loss_probability: float = 0.0,
         loss_seed: int = 0,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         """``loss_probability`` drops each non-beacon frame independently
         with that probability (failure injection for retransmission
         tests); beacons are exempt so the PS schedule stays alive, which
         matches reality where beacons at the base rate are by far the
-        most robust frames on the air."""
+        most robust frames on the air.
+
+        ``fault_injector`` supersedes the simple loss knob: it realizes
+        a seeded :class:`~repro.faults.plan.FaultPlan` with per-kind
+        loss (including an explicit beacon-loss knob), per-kind drop
+        accounting, and bounded delivery-clock jitter.
+        """
         if not 0.0 <= loss_probability < 1.0:
             raise SimulationError(
                 f"loss probability must be in [0, 1): {loss_probability}"
@@ -83,11 +93,13 @@ class Medium:
         self._busy_time_accum = 0.0
         self._loss_probability = loss_probability
         self._loss_rng = random.Random(loss_seed)
+        self._fault_injector = fault_injector
         self._frames_dropped = 0
         self._airtime_by_kind: Dict[str, float] = {}
         self._frames_by_kind: Dict[str, int] = {}
         self._queue_wait_accum = 0.0
         self._frames_queued = 0
+        self._delivery_observers: List[Callable[[Transmission, bool], None]] = []
 
     @property
     def transmissions_completed(self) -> int:
@@ -101,6 +113,17 @@ class Medium:
     @property
     def frames_dropped(self) -> int:
         return self._frames_dropped
+
+    @property
+    def fault_injector(self) -> Optional["FaultInjector"]:
+        return self._fault_injector
+
+    @property
+    def drops_by_kind(self) -> Dict[str, int]:
+        """Injected drops per frame kind (empty under the legacy knob)."""
+        if self._fault_injector is None:
+            return {}
+        return self._fault_injector.drops_by_kind
 
     @property
     def airtime_by_kind(self) -> Dict[str, float]:
@@ -123,10 +146,42 @@ class Medium:
         return self._frames_queued
 
     def attach(self, entity: Entity) -> None:
+        """Attach ``entity`` to the channel (and, first time, the clock).
+
+        Re-attaching an entity that already lives on the simulator — a
+        crashed client rejoining — only restores channel delivery; its
+        :meth:`~repro.sim.entity.Entity.on_attach` does not run again.
+        """
         if entity in self._entities:
             raise SimulationError(f"{entity!r} already attached to medium")
         self._entities.append(entity)
-        entity.attach(self._simulator)
+        if not entity.is_attached:
+            entity.attach(self._simulator)
+
+    def detach(self, entity: Entity) -> None:
+        """Remove ``entity`` from delivery (a crashed radio).
+
+        The entity stays on the simulator clock; only frame delivery
+        stops. Frames already in flight to it are lost.
+        """
+        try:
+            self._entities.remove(entity)
+        except ValueError:
+            raise SimulationError(f"{entity!r} is not attached to medium")
+
+    def is_attached(self, entity: Entity) -> bool:
+        return entity in self._entities
+
+    def add_delivery_observer(
+        self, observer: Callable[[Transmission, bool], None]
+    ) -> None:
+        """Call ``observer(transmission, dropped)`` for every delivery.
+
+        Observers see every completed transmission, including ones the
+        loss machinery ate (``dropped=True``) — this is how invariant
+        checkers distinguish injected loss from protocol bugs.
+        """
+        self._delivery_observers.append(observer)
 
     def airtime_of(self, length_bytes: int, rate_bps: float) -> float:
         """Channel occupancy of one frame: PHY preamble + payload bits."""
@@ -170,16 +225,26 @@ class Medium:
         self._busy_until = start + airtime
         self._busy_time_accum += airtime
         deliver_at = transmission.end_time + self._propagation_delay_s
+        if self._fault_injector is not None:
+            deliver_at += self._fault_injector.delivery_jitter_s()
 
         def _deliver() -> None:
             self._transmissions_completed += 1
-            if self._loss_probability > 0.0 and not _is_beacon(frame):
-                if self._loss_rng.random() < self._loss_probability:
-                    self._frames_dropped += 1
-                    return  # frame corrupted on air: nobody decodes it
-            for entity in list(self._entities):
-                if entity is not sender:
-                    entity.on_receive(transmission)
+            dropped = False
+            if self._fault_injector is not None:
+                dropped = self._fault_injector.should_drop(frame)
+            elif self._loss_probability > 0.0 and not _is_beacon(frame):
+                dropped = self._loss_rng.random() < self._loss_probability
+            if dropped:
+                self._frames_dropped += 1
+            else:
+                for entity in list(self._entities):
+                    if entity is not sender:
+                        entity.on_receive(transmission)
+            for observer in self._delivery_observers:
+                observer(transmission, dropped)
+            if dropped:
+                return  # frame corrupted on air: nobody decodes it
             if on_complete is not None:
                 on_complete(transmission)
 

@@ -52,6 +52,9 @@ class PowerCounters:
     #: Total seconds spent in suspend operations that were later aborted
     #: (the numerator of the paper's y(i)).
     aborted_suspend_time: float = 0.0
+    #: Abrupt drops to SUSPENDED (crash injection), outside the normal
+    #: suspend path.
+    forced_suspends: int = 0
 
 
 class PowerStateMachine:
@@ -71,6 +74,7 @@ class PowerStateMachine:
         self._suspend_duration = suspend_duration_s
         self._state = initial_state
         self._state_since = simulator.now
+        self._created_at = simulator.now
         self._segments: List[StateSegment] = []
         self._pending_transition: Optional[EventHandle] = None
         self._on_active_callbacks: List[Callable[[], None]] = []
@@ -79,6 +83,15 @@ class PowerStateMachine:
     @property
     def state(self) -> PowerState:
         return self._state
+
+    @property
+    def created_at(self) -> float:
+        """Simulation time this machine started recording its timeline.
+
+        The energy-conservation invariant checks that the recorded
+        segments exactly tile [created_at, now].
+        """
+        return self._created_at
 
     @property
     def is_awake(self) -> bool:
@@ -141,6 +154,22 @@ class PowerStateMachine:
         callbacks, self._on_active_callbacks = self._on_active_callbacks, []
         for callback in callbacks:
             callback()
+
+    def force_suspend(self) -> None:
+        """Crash path: drop to SUSPENDED from any state, immediately.
+
+        Cancels any in-flight timed transition and discards queued
+        when-active callbacks — they reference pre-crash intent, and a
+        rebooted device must not replay them. The timeline stays
+        contiguous: the interrupted state's segment is closed at now.
+        """
+        if self._pending_transition is not None:
+            self._pending_transition.cancel()
+            self._pending_transition = None
+        self._on_active_callbacks = []
+        self.counters.forced_suspends += 1
+        if self._state is not PowerState.SUSPENDED:
+            self._change_state(PowerState.SUSPENDED)
 
     def request_suspend(self) -> None:
         """Start the suspend operation. Only legal from ACTIVE."""

@@ -78,6 +78,21 @@ class WakelockManager:
             self._expiry_event.cancel()
             self._expire()
 
+    def drop(self) -> None:
+        """Drop the lock *without* the expiry notification (crash path).
+
+        A crashed device must not run its suspend-entry logic from a
+        timer armed before the crash; the hold period is still closed so
+        held-time accounting stays exact.
+        """
+        if self._expiry_event is not None:
+            self._expiry_event.cancel()
+        self._expiry_event = None
+        self._expires_at = None
+        if self._held_since is not None:
+            self._hold_periods.append((self._held_since, self._simulator.now))
+            self._held_since = None
+
     def _expire(self) -> None:
         self._expiry_event = None
         self._expires_at = None
