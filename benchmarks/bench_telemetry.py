@@ -1,0 +1,74 @@
+"""Telemetry benchmarks: engine throughput, Algorithm-1 cost, and the
+observability overhead contract (instrumented vs NULL_TRACER < 10%).
+
+The same measurements back ``repro bench``, which writes
+``BENCH_telemetry.json`` (schema ``repro-bench/v1``); ``repro obs diff``
+compares that file against the committed baseline in CI. Here the
+functions run under pytest so the contract is asserted, and a schema
+round-trip pins that ``obs diff`` keeps understanding the bench output.
+"""
+
+import json
+
+from repro.experiments.bench import (
+    bench_algorithm1,
+    bench_engine_throughput,
+    bench_obs_overhead,
+    run_benchmarks,
+    write_bench_json,
+)
+from repro.obs.diff import diff_files, load_metrics_file
+
+
+def test_engine_event_throughput(record_result):
+    result = bench_engine_throughput(events=20_000, repeats=2)
+    assert result.value > 10_000, "event loop slower than 10k events/s"
+    record_result(
+        "bench_telemetry_engine",
+        f"{result.name}: {result.value:.0f} {result.unit}",
+    )
+
+
+def test_algorithm1_per_dtim_cost(record_result):
+    result = bench_algorithm1(iterations=500, repeats=2)
+    # One DTIM's flag computation must stay far below a beacon interval
+    # (102.4 ms), or the AP could never keep up in real time.
+    assert result.value < 0.01, f"Algorithm 1 took {result.value * 1e6:.0f} µs/run"
+    record_result(
+        "bench_telemetry_algorithm1",
+        f"{result.name}: {result.value * 1e6:.1f} µs/run",
+    )
+
+
+def test_obs_overhead_under_10_percent(record_result):
+    result = bench_obs_overhead(duration_s=6.0, repeats=3)
+    record_result(
+        "bench_telemetry_overhead",
+        f"{result.name}: {result.value:.1%} "
+        f"(baseline {result.detail['baseline_wall_s'] * 1e3:.1f} ms, "
+        f"instrumented {result.detail['instrumented_wall_s'] * 1e3:.1f} ms)",
+    )
+    assert result.value < 0.10, (
+        f"full streaming observability costs {result.value:.1%} "
+        "(contract: < 10%)"
+    )
+
+
+def test_bench_json_roundtrips_through_obs_diff(tmp_path):
+    document = run_benchmarks(quick=True, repeats=1)
+    path_a = tmp_path / "BENCH_a.json"
+    path_b = tmp_path / "BENCH_b.json"
+    write_bench_json(document, str(path_a))
+    write_bench_json(document, str(path_b))
+
+    loaded = load_metrics_file(str(path_a))
+    assert set(loaded) == {
+        "engine_events_per_second",
+        "algorithm1_seconds_per_dtim",
+        "obs_overhead_fraction",
+    }
+    assert json.loads(path_a.read_text())["schema"] == "repro-bench/v1"
+
+    result = diff_files(str(path_a), str(path_b))
+    assert result.ok()
+    assert not result.regressions

@@ -6,13 +6,19 @@ Commands:
 * ``trace inspect`` — volume stats, CDF, and service mix of a trace.
 * ``energy compare`` — receive-all vs client-side vs HIDE on a trace.
 * ``sim run`` — replay a scenario through the event-level simulator,
-  with ``--metrics-out`` (Prometheus/JSONL export) and ``--trace-log``
-  (structured JSONL event trace).
+  with ``--metrics-out`` (Prometheus/JSONL export), ``--trace-log``
+  (structured JSONL event trace), ``--serve-metrics PORT`` (live
+  ``/metrics`` + ``/timeseries`` + ``/healthz`` endpoint), and
+  ``--timeseries-out`` (windowed per-DTIM telemetry dump).
 * ``experiments run`` — regenerate paper tables/figures (all or some).
 * ``experiments headline`` — the headline-claims scorecard.
 * ``overhead capacity`` / ``overhead delay`` — Section V analyses.
 * ``obs summarize`` — aggregate a ``--trace-log`` file into span/event
   statistics.
+* ``obs diff`` — compare two runs' metrics/timeseries/bench artifacts
+  with tolerances (nonzero exit on regression).
+* ``bench`` — the telemetry benchmark suite; writes
+  ``BENCH_telemetry.json`` for ``obs diff``.
 """
 
 from __future__ import annotations
@@ -179,12 +185,24 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_timeseries_window(spec: str):
+    if spec == "dtim":
+        return "dtim"
+    try:
+        return float(spec)
+    except ValueError:
+        raise ConfigurationError(
+            f"--timeseries-window must be 'dtim' or seconds: {spec!r}"
+        )
+
+
 def cmd_sim_run(args: argparse.Namespace) -> int:
     from repro.experiments.des_run import (
         CLIENT_SUMMARY_HEADERS,
         DesRunConfig,
+        TelemetryConfig,
         client_summary_rows,
-        run_trace_des,
+        prepare_trace_des,
     )
     from repro.station.client import ClientPolicy
 
@@ -201,6 +219,15 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         except (ConfigurationError, ValueError, OSError) as exc:
             print(f"error: bad --fault-plan: {exc}", file=sys.stderr)
             return 2
+    # Validate the window spec even when telemetry is off, so a typo
+    # never passes silently.
+    window = _parse_timeseries_window(args.timeseries_window)
+    telemetry = None
+    if args.serve_metrics is not None or args.timeseries_out:
+        telemetry = TelemetryConfig(
+            window=window,
+            serve_port=args.serve_metrics,
+        )
     config = DesRunConfig(
         policy=ClientPolicy(args.policy),
         client_count=args.clients,
@@ -214,14 +241,22 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         recovery=not args.no_recovery,
         port_entry_ttl_s=args.port_ttl,
         port_refresh_interval_s=args.port_refresh,
+        telemetry=telemetry,
     )
+    prepared = prepare_trace_des(trace, config, tracer=tracer)
+    if prepared.metrics_server is not None:
+        print(
+            f"serving metrics on {prepared.metrics_server.url}/metrics "
+            "(also /timeseries, /healthz)"
+        )
     try:
-        result = run_trace_des(trace, config, tracer=tracer)
+        result = prepared.execute()
     except InvariantViolation as exc:
         print(f"invariant violation: {exc}", file=sys.stderr)
         return 3
     finally:
         tracer.close()
+        prepared.close()
     sim, ap = result.simulator, result.access_point
     print(
         f"{trace.name}: {result.duration_s:.0f} s simulated under "
@@ -269,6 +304,12 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         print(f"wrote trace log to {args.trace_log}")
     if args.metrics_out:
         _write_metrics_file(result.collect_metrics(), args.metrics_out)
+    if args.timeseries_out and result.timeseries is not None:
+        result.timeseries.write(args.timeseries_out)
+        print(
+            f"wrote {len(result.timeseries.windows)} timeseries window(s) "
+            f"to {args.timeseries_out}"
+        )
     return 0
 
 
@@ -283,7 +324,43 @@ def cmd_obs_summarize(args: argparse.Namespace) -> int:
         print(f"error: {args.trace_log} is not a JSONL trace log: {exc}",
               file=sys.stderr)
         return 2
+    if summary.skipped_lines:
+        print(
+            f"warning: skipped {summary.skipped_lines} malformed line(s) "
+            f"in {args.trace_log}",
+            file=sys.stderr,
+        )
     print(render_summary(summary))
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_files, render_diff
+
+    try:
+        result = diff_files(
+            args.file_a, args.file_b,
+            rel_tol=args.rel_tol, abs_tol=args.abs_tol,
+            ignore=tuple(args.ignore or ()),
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(result, show_ok=args.show_ok))
+    if result.ok(fail_on_missing=args.fail_on_missing):
+        return 0
+    print("obs diff: regression beyond tolerance", file=sys.stderr)
+    return 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import render_bench, run_benchmarks, write_bench_json
+
+    document = run_benchmarks(quick=args.quick, repeats=args.repeat)
+    print(render_bench(document))
+    if args.out:
+        write_bench_json(document, args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -410,6 +487,20 @@ def build_parser() -> argparse.ArgumentParser:
     sim_run.add_argument(
         "--trace-log", help="write structured events/spans as JSONL"
     )
+    sim_run.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve live /metrics, /timeseries, and /healthz on this "
+             "port during the run (0 = pick an ephemeral port)",
+    )
+    sim_run.add_argument(
+        "--timeseries-out", metavar="PATH",
+        help="write the windowed timeseries dump as JSON after the run",
+    )
+    sim_run.add_argument(
+        "--timeseries-window", default="dtim", metavar="SPEC",
+        help="aggregation window: 'dtim' (one window per DTIM interval, "
+             "the default) or a width in simulated seconds",
+    )
     sim_run.set_defaults(func=cmd_sim_run)
 
     experiments = commands.add_parser("experiments", help="paper reproductions")
@@ -451,6 +542,53 @@ def build_parser() -> argparse.ArgumentParser:
     summarize = obs_sub.add_parser("summarize", help="aggregate a trace log")
     summarize.add_argument("trace_log", help="path to a JSONL trace log")
     summarize.set_defaults(func=cmd_obs_summarize)
+    diff = obs_sub.add_parser(
+        "diff",
+        help="compare two runs' metrics/timeseries/bench files "
+             "(exit 1 beyond tolerance)",
+    )
+    diff.add_argument("file_a", help="baseline artifact (.prom/.jsonl/.json)")
+    diff.add_argument("file_b", help="candidate artifact to compare")
+    diff.add_argument(
+        "--rel-tol", type=float, default=0.0, metavar="FRACTION",
+        help="allowed relative delta per metric (e.g. 0.05 = 5%%)",
+    )
+    diff.add_argument(
+        "--abs-tol", type=float, default=0.0, metavar="VALUE",
+        help="allowed absolute delta per metric (passes if either "
+             "tolerance holds)",
+    )
+    diff.add_argument(
+        "--ignore", action="append", metavar="REGEX",
+        help="skip series matching this pattern on both sides "
+             "(repeatable; e.g. --ignore wall for host-speed families)",
+    )
+    diff.add_argument(
+        "--fail-on-missing", action="store_true",
+        help="also fail when a metric appears on only one side",
+    )
+    diff.add_argument(
+        "--show-ok", action="store_true",
+        help="list metrics within tolerance too, not just changes",
+    )
+    diff.set_defaults(func=cmd_obs_diff)
+
+    bench = commands.add_parser(
+        "bench", help="telemetry benchmark suite (engine, Algorithm 1, obs overhead)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads and fewer repeats (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="repeats per benchmark (best sample wins)",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_telemetry.json", metavar="PATH",
+        help="write the repro-bench/v1 JSON here ('' to skip)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -1,0 +1,257 @@
+"""The ``repro bench`` suite: hot-path timings in a diffable schema.
+
+Three benchmarks cover the paths every perf PR touches:
+
+* ``engine_events_per_second`` — raw DES event-loop throughput over a
+  chained schedule (higher is better).
+* ``algorithm1_seconds_per_dtim`` — one Algorithm-1 execution at the
+  paper's operating point (25 clients, 10 buffered frames; lower is
+  better).
+* ``obs_overhead_fraction`` — the cost of streaming telemetry (per-DTIM
+  timeseries windows + live collector sampling) over the exact same
+  seeded run with telemetry off. Both sides use the NULL_TRACER, so
+  the delta is purely the new streaming stack; the full JSONL tracer
+  is timed separately in ``detail`` (it serializes every span and is
+  deliberately not under the contract). The contract is < 10%;
+  ``benchmarks/bench_telemetry.py`` asserts it.
+
+Results are written as ``BENCH_telemetry.json`` under schema
+``repro-bench/v1``, which ``repro obs diff`` parses — so CI can compare
+a fresh run against the committed baseline and fail only on gross
+regressions. Timings take the best of several repeats (the standard
+way to suppress scheduler noise on shared machines).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ap.flags import compute_broadcast_flags
+from repro.ap.port_table import ClientUdpPortTable
+from repro.dot11.data import DataFrame
+from repro.dot11.mac_address import MacAddress
+from repro.experiments.des_run import DesRunConfig, TelemetryConfig, run_trace_des
+from repro.net.packet import build_broadcast_udp_packet
+from repro.obs.tracing import JsonlTracer
+from repro.sim.engine import Simulator
+from repro.traces import generate_trace, scenario_by_name
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+_BSSID = MacAddress.from_string("02:aa:00:00:00:01")
+_SRC = MacAddress.from_string("02:bb:00:00:00:99")
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's headline number plus context."""
+
+    name: str
+    value: float
+    unit: str
+    higher_is_better: bool
+    detail: Dict[str, float]
+
+
+def _best_of(fn: Callable[[], float], repeats: int, pick_max: bool) -> Tuple[float, List[float]]:
+    samples = [fn() for _ in range(max(1, repeats))]
+    return (max(samples) if pick_max else min(samples)), samples
+
+
+def bench_engine_throughput(events: int = 50_000, repeats: int = 3) -> BenchResult:
+    """Events per wall second through a chained self-scheduling loop."""
+
+    def one_run() -> float:
+        sim = Simulator()
+        remaining = [events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+        assert sim.events_processed == events
+        return events / elapsed
+
+    value, samples = _best_of(one_run, repeats, pick_max=True)
+    return BenchResult(
+        name="engine_events_per_second",
+        value=value,
+        unit="events/s",
+        higher_is_better=True,
+        detail={"events": float(events), "samples": float(len(samples))},
+    )
+
+
+def bench_algorithm1(
+    clients: int = 25,
+    buffered_frames: int = 10,
+    iterations: int = 2_000,
+    repeats: int = 3,
+) -> BenchResult:
+    """Seconds per Algorithm-1 run (the per-DTIM broadcast-flag pass)."""
+    table = ClientUdpPortTable()
+    for aid in range(1, clients + 1):
+        table.update_client(aid, {5353, 1900} if aid % 3 == 0 else {137})
+    frames = [
+        DataFrame.broadcast_udp(
+            bssid=_BSSID,
+            source=_SRC,
+            ip_packet=build_broadcast_udp_packet(
+                (137, 5353, 1900)[i % 3], b"x" * 150
+            ),
+        )
+        for i in range(buffered_frames)
+    ]
+
+    def one_run() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            compute_broadcast_flags(frames, table)
+        return (time.perf_counter() - start) / iterations
+
+    value, _ = _best_of(one_run, repeats, pick_max=False)
+    return BenchResult(
+        name="algorithm1_seconds_per_dtim",
+        value=value,
+        unit="s/run",
+        higher_is_better=False,
+        detail={
+            "clients": float(clients),
+            "buffered_frames": float(buffered_frames),
+            "iterations": float(iterations),
+        },
+    )
+
+
+def bench_obs_overhead(
+    duration_s: float = 8.0,
+    clients: int = 25,
+    repeats: int = 3,
+    scenario: str = "Classroom",
+) -> BenchResult:
+    """Streaming-telemetry vs telemetry-off wall time, same seeded run.
+
+    "Instrumented" turns on the streaming stack — a per-DTIM
+    :class:`TimeseriesRecorder` sampling the curated energy-timeline
+    series each window — while both sides keep the NULL_TRACER, so the
+    delta is purely the telemetry cost the
+    ``--serve-metrics``/``--timeseries-out`` path adds. Measured at the
+    paper's operating point (Classroom scenario, 25 clients), where the
+    simulator does real per-window work; an idle sim would make any
+    fixed per-window cost look enormous. The full JSONL tracer
+    serializes every span and costs far more by design; it is timed
+    once into ``detail`` for visibility but is not under the < 10%
+    contract.
+    """
+    trace = generate_trace(scenario_by_name(scenario))
+    base_config = DesRunConfig(client_count=clients, duration_s=duration_s)
+    telemetry_config = replace(
+        base_config, telemetry=TelemetryConfig(window="dtim")
+    )
+
+    def baseline() -> float:
+        return run_trace_des(trace, base_config).simulator.run_wall_time_s
+
+    def instrumented() -> float:
+        return run_trace_des(trace, telemetry_config).simulator.run_wall_time_s
+
+    def traced() -> float:
+        tracer = JsonlTracer(io.StringIO())
+        try:
+            result = run_trace_des(trace, telemetry_config, tracer=tracer)
+        finally:
+            tracer.close()
+        return result.simulator.run_wall_time_s
+
+    # One untimed warm-up of each side, then interleaved timed repeats:
+    # allocator and code caches warm on the first run, and interleaving
+    # cancels slow host-speed drift that would otherwise bias whichever
+    # side ran first.
+    baseline()
+    instrumented()
+    base_samples: List[float] = []
+    instr_samples: List[float] = []
+    for _ in range(max(1, repeats)):
+        base_samples.append(baseline())
+        instr_samples.append(instrumented())
+    base_s = min(base_samples)
+    instr_s = min(instr_samples)
+    traced_s, _ = _best_of(traced, 1, pick_max=False)
+    overhead = instr_s / base_s - 1.0 if base_s > 0 else 0.0
+    return BenchResult(
+        name="obs_overhead_fraction",
+        value=overhead,
+        unit="fraction",
+        higher_is_better=False,
+        detail={
+            "baseline_wall_s": base_s,
+            "instrumented_wall_s": instr_s,
+            "jsonl_traced_wall_s": traced_s,
+            "duration_s": duration_s,
+            "clients": float(clients),
+        },
+    )
+
+
+def run_benchmarks(
+    quick: bool = False, repeats: Optional[int] = None
+) -> Dict[str, object]:
+    """Run the suite; returns the ``repro-bench/v1`` document."""
+    reps = repeats if repeats is not None else (2 if quick else 3)
+    results = [
+        bench_engine_throughput(
+            events=10_000 if quick else 50_000, repeats=reps
+        ),
+        bench_algorithm1(iterations=300 if quick else 2_000, repeats=reps),
+        bench_obs_overhead(duration_s=4.0 if quick else 8.0, repeats=reps),
+    ]
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "telemetry",
+        "quick": quick,
+        "repeats": reps,
+        "benchmarks": {
+            r.name: {
+                "value": r.value,
+                "unit": r.unit,
+                "higher_is_better": r.higher_is_better,
+                "detail": r.detail,
+            }
+            for r in results
+        },
+    }
+
+
+def write_bench_json(document: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def render_bench(document: Dict[str, object]) -> str:
+    """A human summary of one bench document."""
+    from repro.reporting import render_table
+
+    rows = []
+    for name, entry in sorted(document.get("benchmarks", {}).items()):
+        rows.append(
+            [
+                name,
+                f"{entry['value']:.6g}",
+                str(entry.get("unit", "")),
+                "higher" if entry.get("higher_is_better") else "lower",
+            ]
+        )
+    title = "Telemetry benchmarks" + (
+        " (quick)" if document.get("quick") else ""
+    )
+    return render_table(["benchmark", "value", "unit", "better"], rows, title=title)

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 from repro.ap.access_point import AccessPoint, ApConfig
 from repro.dot11.mac_address import MacAddress
@@ -29,6 +30,8 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.net.packet import build_broadcast_udp_packet
 from repro.obs.collectors import collect_all
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import MetricsServer
+from repro.obs.timeseries import TimeseriesRecorder, dtim_window_s
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.invariants import InvariantSuite
@@ -37,15 +40,21 @@ from repro.station.client import Client, ClientConfig, ClientPolicy
 from repro.traces.trace import BroadcastTrace
 from repro.traces.usefulness import ports_for_target_fraction
 
-#: Metric families whose values depend on host wall-clock speed, not on
-#: the simulated system — excluded from determinism fingerprints.
-_WALL_CLOCK_METRICS = frozenset(
+#: Metric families excluded from determinism fingerprints: wall-clock
+#: families measure the host, not the protocol, and the probe counter
+#: measures the *observer* (a run with telemetry attached must
+#: fingerprint identically to the same run without it).
+_FINGERPRINT_EXCLUDED_METRICS = frozenset(
     {
         "repro_sim_run_wall_seconds_total",
         "repro_sim_wall_seconds_per_sim_second",
         "repro_ap_algorithm1_wall_seconds_total",
+        "repro_sim_probes_fired_total",
     }
 )
+
+#: Backwards-compatible alias (pre-telemetry name).
+_WALL_CLOCK_METRICS = _FINGERPRINT_EXCLUDED_METRICS
 
 AP_MAC = MacAddress.from_string("02:aa:00:00:00:01")
 WIRED_SOURCE = MacAddress.from_string("02:bb:00:00:00:99")
@@ -54,6 +63,44 @@ WIRED_SOURCE = MacAddress.from_string("02:bb:00:00:00:99")
 #: framing; the remainder becomes UDP payload so the simulated frame's
 #: length approximates the recorded one.
 _FRAMING_OVERHEAD_BYTES = 78
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Streaming-observability knobs for one DES run.
+
+    ``window`` is either the string ``"dtim"`` (one aggregation window
+    per DTIM interval — the granularity the paper's Section IV energy
+    model reasons at) or a fixed width in simulated seconds.
+    ``serve_port`` starts a live :class:`~repro.obs.server.MetricsServer`
+    next to the run (0 picks an ephemeral port).
+    """
+
+    window: Union[str, float] = "dtim"
+    capacity: int = 512
+    ewma_alpha: float = 0.3
+    serve_port: Optional[int] = None
+    serve_host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.window, str):
+            if self.window != "dtim":
+                raise ConfigurationError(
+                    f"window must be 'dtim' or seconds: {self.window!r}"
+                )
+        elif self.window <= 0:
+            raise ConfigurationError(
+                f"window seconds must be positive: {self.window}"
+            )
+        if self.capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1: {self.capacity}")
+        if self.serve_port is not None and not 0 <= self.serve_port <= 65535:
+            raise ConfigurationError(f"bad serve port: {self.serve_port}")
+
+    def window_seconds(self, beacon_interval_s: float, dtim_period: int) -> float:
+        if self.window == "dtim":
+            return dtim_window_s(beacon_interval_s, dtim_period)
+        return float(self.window)
 
 
 @dataclass(frozen=True)
@@ -82,6 +129,10 @@ class DesRunConfig:
     port_entry_ttl_s: Optional[float] = None
     #: Client keep-alive period for re-sending port reports.
     port_refresh_interval_s: Optional[float] = None
+    #: Streaming telemetry: windowed timeseries plus (optionally) a live
+    #: scrape endpoint. ``None`` disables both; the run's determinism
+    #: fingerprint is identical either way.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.client_count < 1:
@@ -119,6 +170,16 @@ class DesRunResult:
     fault_injector: Optional[FaultInjector] = None
     #: Live when the run checked invariants.
     invariants: Optional[InvariantSuite] = None
+    #: Live when telemetry was configured: the windowed recorder, the
+    #: registry it sampled into, and (if serving) the scrape endpoint.
+    timeseries: Optional[TimeseriesRecorder] = None
+    live_registry: Optional[MetricsRegistry] = None
+    metrics_server: Optional[MetricsServer] = None
+
+    def close(self) -> None:
+        """Stop the metrics server, if one is still running."""
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
 
     def meter(self) -> List[MeteredEnergy]:
         """Per-client energy from what each client actually did."""
@@ -152,18 +213,219 @@ class DesRunResult:
         snapshot = [
             entry
             for entry in self.collect_metrics(MetricsRegistry()).snapshot()
-            if entry["name"] not in _WALL_CLOCK_METRICS
+            if entry["name"] not in _FINGERPRINT_EXCLUDED_METRICS
         ]
         payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def run_trace_des(
+class PreparedDesRun:
+    """A fully wired DES run that has not executed yet.
+
+    Splitting preparation from execution lets callers observe the run
+    *while it happens*: the live metrics registry, timeseries recorder,
+    and scrape endpoint (already serving, if configured) all exist
+    before :meth:`execute` starts the clock. ``repro sim run
+    --serve-metrics`` prints the endpoint URL in that gap, so a scraper
+    can attach from simulated second zero.
+    """
+
+    def __init__(
+        self,
+        trace: BroadcastTrace,
+        config: DesRunConfig,
+        duration: float,
+        useful_ports: FrozenSet[int],
+        simulator: Simulator,
+        medium: Medium,
+        access_point: AccessPoint,
+        clients: List[Client],
+        fault_injector: Optional[FaultInjector],
+        invariants: Optional[InvariantSuite],
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.duration = duration
+        self.useful_ports = useful_ports
+        self.simulator = simulator
+        self.medium = medium
+        self.access_point = access_point
+        self.clients = clients
+        self.fault_injector = fault_injector
+        self.invariants = invariants
+        self.live_registry: Optional[MetricsRegistry] = None
+        self.recorder: Optional[TimeseriesRecorder] = None
+        self.metrics_server: Optional[MetricsServer] = None
+        self._collect_lock = threading.Lock()
+        self._executed = False
+        if config.telemetry is not None:
+            self._wire_telemetry(config.telemetry)
+
+    def _wire_telemetry(self, telemetry: TelemetryConfig) -> None:
+        self.live_registry = MetricsRegistry()
+        window_s = telemetry.window_seconds(
+            self.access_point.config.beacon_interval_s,
+            self.access_point.config.dtim_period,
+        )
+        self.recorder = TimeseriesRecorder(
+            self.live_registry,
+            window_s,
+            capacity=telemetry.capacity,
+            ewma_alpha=telemetry.ewma_alpha,
+            values_fn=self.sample_live_values,
+        )
+        self.recorder.attach(self.simulator)
+        if telemetry.serve_port is not None:
+            self.metrics_server = MetricsServer(
+                self.live_registry,
+                collect_fn=self.collect_live,
+                recorder=self.recorder,
+                health_fn=lambda: {
+                    "sim_time": self.simulator.now,
+                    "events_processed": self.simulator.events_processed,
+                    "trace": self.trace.name,
+                },
+                host=telemetry.serve_host,
+                port=telemetry.serve_port,
+            )
+            self.metrics_server.start()
+
+    def sample_live_values(self) -> "Dict[str, float]":
+        """The per-window energy-timeline series, read straight off
+        the components.
+
+        This is the timeseries recorder's hot path: it fires once per
+        DTIM, so its cost must stay a small fraction of the simulator's
+        own per-window work (the < 10% contract ``repro bench``
+        enforces). Full registry collection scales with the number of
+        series — hundreds at 25 clients — so instead this reads a
+        fixed-size curated set: the counters Section IV's energy
+        timeline is built from, with client counters summed fleet-wide
+        (the per-client split stays available from ``/metrics`` scrapes
+        and the end-of-run snapshot, which are off the hot path).
+        """
+        sim = self.simulator
+        medium = self.medium
+        ap = self.access_point
+        ap_counters = ap.counters
+        values = {
+            "repro_sim_events_processed_total": float(sim.events_processed),
+            "repro_sim_time_seconds": sim.now,
+            "repro_medium_transmissions_total": float(
+                medium.transmissions_completed
+            ),
+            "repro_medium_busy_seconds_total": medium.busy_time,
+            "repro_medium_frames_dropped_total": float(medium.frames_dropped),
+            "repro_medium_frames_queued_total": float(medium.frames_queued),
+            "repro_ap_beacons_sent_total": float(ap_counters.beacons_sent),
+            "repro_ap_dtims_sent_total": float(ap_counters.dtims_sent),
+            "repro_ap_broadcast_frames_sent_total": float(
+                ap_counters.broadcast_frames_sent
+            ),
+            "repro_ap_broadcast_frames_buffered_total": float(
+                ap_counters.broadcast_frames_buffered
+            ),
+            "repro_ap_btim_bits_set_total": float(
+                ap_counters.btim_bits_set_total
+            ),
+            "repro_ap_algorithm1_runs_total": float(ap_counters.algorithm1_runs),
+            "repro_ap_broadcast_buffer_depth": float(len(ap.broadcast_buffer)),
+            "repro_ap_associated_clients": float(len(ap.associations)),
+        }
+        received = ignored = useful = useless = delivered = missed = 0
+        ps_polls = wakeups = suspends = 0
+        wakelock_s = 0.0
+        for client in self.clients:
+            counters = client.counters
+            received += counters.broadcast_frames_received
+            ignored += counters.broadcast_frames_ignored
+            useful += counters.useful_frames_received
+            useless += counters.useless_frames_received
+            delivered += counters.frames_delivered_to_apps
+            missed += counters.useful_frames_missed
+            ps_polls += counters.ps_polls_sent
+            if client.power is not None:
+                wakeups += client.power.counters.resumes
+                suspends += client.power.counters.suspends_completed
+            if client.wakelock is not None:
+                wakelock_s += client.wakelock.total_held_time()
+        values.update(
+            repro_client_broadcast_frames_received_total=float(received),
+            repro_client_broadcast_frames_ignored_total=float(ignored),
+            repro_client_useful_frames_received_total=float(useful),
+            repro_client_useless_frames_received_total=float(useless),
+            repro_client_frames_delivered_to_apps_total=float(delivered),
+            repro_client_useful_frames_missed_total=float(missed),
+            repro_client_ps_polls_sent_total=float(ps_polls),
+            repro_client_wakeups_total=float(wakeups),
+            repro_client_suspends_completed_total=float(suspends),
+            repro_client_wakelock_held_seconds_total=wakelock_s,
+        )
+        return values
+
+    def collect_live(self) -> MetricsRegistry:
+        """Refresh the live registry from every component (read-only).
+
+        Called from the recorder's probe (main thread) and from scrape
+        handlers (server threads); the lock keeps concurrent refreshes
+        from interleaving. Components are only read, never mutated, so
+        this cannot perturb the simulation.
+        """
+        registry = self.live_registry
+        if registry is None:
+            registry = self.live_registry = MetricsRegistry()
+        with self._collect_lock:
+            return collect_all(
+                registry,
+                simulator=self.simulator,
+                medium=self.medium,
+                access_points=[self.access_point],
+                clients=self.clients,
+            )
+
+    def close(self) -> None:
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
+
+    def execute(self) -> DesRunResult:
+        """Run the simulation to completion and package the result.
+
+        The metrics server (if any) is left running with final values
+        so late scrapes still work; stop it via ``result.close()``.
+        """
+        if self._executed:
+            raise ConfigurationError("this prepared run has already executed")
+        self._executed = True
+        self.simulator.run(until=self.duration)
+        if self.recorder is not None:
+            # Close the trailing partial window so the dump covers the
+            # whole run even when duration % window != 0.
+            self.recorder.close_partial(self.duration)
+        if self.invariants is not None:
+            self.invariants.check_final()
+        return DesRunResult(
+            trace_name=self.trace.name,
+            duration_s=self.duration,
+            useful_ports=self.useful_ports,
+            simulator=self.simulator,
+            medium=self.medium,
+            access_point=self.access_point,
+            clients=self.clients,
+            config=self.config,
+            fault_injector=self.fault_injector,
+            invariants=self.invariants,
+            timeseries=self.recorder,
+            live_registry=self.live_registry,
+            metrics_server=self.metrics_server,
+        )
+
+
+def prepare_trace_des(
     trace: BroadcastTrace,
     config: Optional[DesRunConfig] = None,
     tracer=NULL_TRACER,
-) -> DesRunResult:
-    """Replay ``trace`` through AP + stations; returns the live objects.
+) -> PreparedDesRun:
+    """Wire up AP + stations + telemetry for ``trace`` without running.
 
     Usefulness is protocol-realistic: a port subset covering
     ``useful_fraction`` of the trace's frames is computed via
@@ -252,21 +514,32 @@ def run_trace_des(
             lambda p=packet: ap.deliver_from_ds(p, WIRED_SOURCE),
         )
 
-    simulator.run(until=duration)
-    if invariants is not None:
-        invariants.check_final()
-    return DesRunResult(
-        trace_name=trace.name,
-        duration_s=duration,
+    return PreparedDesRun(
+        trace=trace,
+        config=config,
+        duration=duration,
         useful_ports=useful_ports,
         simulator=simulator,
         medium=medium,
         access_point=ap,
         clients=clients,
-        config=config,
         fault_injector=injector,
         invariants=invariants,
     )
+
+
+def run_trace_des(
+    trace: BroadcastTrace,
+    config: Optional[DesRunConfig] = None,
+    tracer=NULL_TRACER,
+) -> DesRunResult:
+    """Prepare and execute one DES replay (see :func:`prepare_trace_des`).
+
+    When the config serves metrics, the endpoint outlives the run so
+    its final state stays scrapeable — call ``result.close()`` when
+    done with it.
+    """
+    return prepare_trace_des(trace, config, tracer=tracer).execute()
 
 
 def client_summary_rows(result: DesRunResult) -> List[List[str]]:

@@ -16,6 +16,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    series_key,
     set_default_registry,
 )
 from repro.obs.tracing import (
@@ -23,7 +24,23 @@ from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
     read_trace_jsonl,
+    read_trace_jsonl_lenient,
     tracer_to_string_buffer,
+)
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    TimeseriesRecorder,
+    WindowSample,
+    dtim_window_s,
+)
+from repro.obs.server import MetricsServer
+from repro.obs.diff import (
+    DiffResult,
+    MetricDelta,
+    diff_files,
+    diff_metrics,
+    load_metrics_file,
+    render_diff,
 )
 from repro.obs.exporters import (
     format_for_path,
@@ -44,25 +61,38 @@ from repro.obs.summarize import TraceSummary, render_summary, summarize_trace
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DiffResult",
     "Gauge",
     "Histogram",
     "JsonlTracer",
+    "MetricDelta",
     "MetricsRegistry",
+    "MetricsServer",
     "NULL_TRACER",
     "NullTracer",
+    "TIMESERIES_SCHEMA",
+    "TimeseriesRecorder",
     "TraceSummary",
+    "WindowSample",
     "collect_access_point",
     "collect_all",
     "collect_client",
     "collect_medium",
     "collect_simulator",
     "default_registry",
+    "diff_files",
+    "diff_metrics",
+    "dtim_window_s",
     "format_for_path",
+    "load_metrics_file",
     "read_trace_jsonl",
+    "read_trace_jsonl_lenient",
+    "render_diff",
     "render_metrics_jsonl",
     "render_metrics_table",
     "render_prometheus",
     "render_summary",
+    "series_key",
     "set_default_registry",
     "summarize_trace",
     "tracer_to_string_buffer",

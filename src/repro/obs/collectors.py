@@ -35,6 +35,10 @@ def collect_simulator(sim, registry: Optional[MetricsRegistry] = None) -> Metric
     ).set(sim.heap_depth)
     registry.gauge("repro_sim_time_seconds", "Current simulation clock").set(sim.now)
     registry.counter(
+        "repro_sim_probes_fired_total",
+        "Observer-probe firings (telemetry flushes; never heap events)",
+    ).set_total(getattr(sim, "probes_fired", 0))
+    registry.counter(
         "repro_sim_run_wall_seconds_total", "Wall time spent inside run()"
     ).set_total(sim.run_wall_time_s)
     registry.gauge(

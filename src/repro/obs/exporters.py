@@ -16,12 +16,21 @@ import json
 import math
 from typing import IO, List, Optional, Union
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+)
 from repro.reporting import render_table
 
+_escape_label_value = escape_label_value
 
-def _escape_label_value(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+def _escape_help_text(text: str) -> str:
+    """HELP lines escape only backslash and line feed (the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_labels(labels, extra: str = "") -> str:
@@ -51,7 +60,9 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         if metric.name not in seen_header:
             seen_header.add(metric.name)
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help_text(metric.help)}"
+                )
             lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, Histogram):
             for bound, cumulative in metric.cumulative_buckets():
@@ -69,7 +80,10 @@ def render_prometheus(registry: MetricsRegistry) -> str:
 
 def render_metrics_jsonl(registry: MetricsRegistry) -> str:
     """One JSON object per series (the ``snapshot()`` rows)."""
-    return "\n".join(json.dumps(entry) for entry in registry.snapshot()) + "\n"
+    lines = [json.dumps(entry) for entry in registry.snapshot()]
+    if not lines:
+        return ""  # zero records is an empty file, not one blank line
+    return "\n".join(lines) + "\n"
 
 
 def render_metrics_table(

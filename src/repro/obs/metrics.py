@@ -16,8 +16,14 @@ stack costs the hot path nothing.
 from __future__ import annotations
 
 import bisect
+import re
 import time
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Prometheus metric-name grammar (exposition format, version 0.0.4).
+METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+#: Prometheus label-name grammar (no leading digit, no colons).
+LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
 
 #: Default histogram buckets: wall-clock seconds from 10 µs to 10 s.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -35,21 +41,63 @@ def _label_key(labels: Optional[Dict[str, str]]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the exposition format / series keys."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def series_key(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """Canonical ``name{k="v",...}`` identity for one series.
+
+    Labels are sorted and values escaped, so the key matches the line
+    the Prometheus exporter emits for the same series — which is what
+    lets :mod:`repro.obs.diff` line up ``.prom``, snapshot-JSONL, and
+    timeseries files against each other.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
 class Metric:
-    """Base class: a name, optional help text, and a fixed label set."""
+    """Base class: a name, optional help text, and a fixed label set.
+
+    Names must match the Prometheus grammar ``[a-zA-Z_:][a-zA-Z0-9_:]*``
+    and label names ``[a-zA-Z_][a-zA-Z0-9_]*`` — enforced here, at
+    creation time, so the exporters can never emit an unscrapable line.
+    """
 
     kind = "untyped"
 
     def __init__(self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None):
-        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
-            raise ValueError(f"invalid metric name: {name!r}")
+        if not isinstance(name, str) or METRIC_NAME_RE.fullmatch(name) is None:
+            raise ValueError(
+                f"invalid metric name {name!r}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+            )
         self.name = name
         self.help = help
         self.labels: Dict[str, str] = dict(_label_key(labels))
+        for label_name in self.labels:
+            if LABEL_NAME_RE.fullmatch(label_name) is None:
+                raise ValueError(
+                    f"invalid label name {label_name!r} on metric {name!r}: "
+                    "must match [a-zA-Z_][a-zA-Z0-9_]*"
+                )
+        # Name and labels are fixed for the series' lifetime, so the
+        # canonical key is computed once — samplers read it per window.
+        self._series_id = series_key(self.name, self.labels)
 
     @property
     def label_key(self) -> LabelItems:
         return tuple(sorted(self.labels.items()))
+
+    @property
+    def series_id(self) -> str:
+        """The canonical ``name{labels}`` key for this series."""
+        return self._series_id
 
 
 class Counter(Metric):

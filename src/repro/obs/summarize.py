@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, IO, List, Optional, Tuple, Union
 
-from repro.obs.tracing import read_trace_jsonl
+from repro.obs.tracing import read_trace_jsonl_lenient
 from repro.reporting import render_table
 
 
@@ -62,11 +62,18 @@ class TraceSummary:
     event_counts: Dict[str, int]
     sim_time_range: Optional[Tuple[float, float]]
     wall_time_range: Optional[Tuple[float, float]]
+    #: Malformed lines skipped while reading (e.g. a truncated tail).
+    skipped_lines: int = 0
 
 
-def summarize_trace(source: Union[str, IO[str]]) -> TraceSummary:
-    """Aggregate a trace log from a path or open stream."""
-    records = read_trace_jsonl(source)
+def summarize_trace(source: Union[str, IO[str]], strict: bool = False) -> TraceSummary:
+    """Aggregate a trace log from a path or open stream.
+
+    Malformed lines — an empty file, a line of garbage, or the
+    truncated last record of a killed run — are skipped and counted in
+    :attr:`TraceSummary.skipped_lines` unless ``strict`` is set.
+    """
+    records, skipped = read_trace_jsonl_lenient(source, strict=strict)
     spans: Dict[str, SpanStats] = {}
     events: Dict[str, int] = {}
     sim_times: List[float] = []
@@ -91,6 +98,7 @@ def summarize_trace(source: Union[str, IO[str]]) -> TraceSummary:
         event_counts=dict(sorted(events.items())),
         sim_time_range=(min(sim_times), max(sim_times)) if sim_times else None,
         wall_time_range=(min(wall_times), max(wall_times)) if wall_times else None,
+        skipped_lines=skipped,
     )
 
 
@@ -105,6 +113,11 @@ def render_summary(summary: TraceSummary) -> str:
         lo, hi = summary.wall_time_range
         header += f", wall span {hi - lo:.3f} s"
     blocks.append(header)
+    if summary.skipped_lines:
+        blocks.append(
+            f"warning: skipped {summary.skipped_lines} malformed line(s) "
+            "(truncated or non-JSON)"
+        )
     if summary.span_stats:
         rows = [
             [

@@ -200,19 +200,50 @@ def _jsonify(value: Any) -> Any:
 
 def read_trace_jsonl(source: Union[str, IO[str]]) -> List[Dict[str, Any]]:
     """Load every record from a JSONL trace log (blank lines skipped)."""
+    records, _ = read_trace_jsonl_lenient(source, strict=True)
+    return records
+
+
+def read_trace_jsonl_lenient(
+    source: Union[str, IO[str]], strict: bool = False
+) -> "tuple[List[Dict[str, Any]], int]":
+    """Load a JSONL trace, tolerating malformed lines.
+
+    Returns ``(records, skipped)`` where ``skipped`` counts lines that
+    were not valid JSON objects — typically a truncated final line from
+    a run that was killed mid-write. With ``strict=True`` the first bad
+    line raises ``json.JSONDecodeError`` instead (the legacy behaviour
+    behind :func:`read_trace_jsonl`).
+    """
     if isinstance(source, (str, bytes)):
         with open(source, "r", encoding="utf-8") as stream:
-            return _read_records(stream)
-    return _read_records(source)
+            return _read_records(stream, strict)
+    return _read_records(source, strict)
 
 
-def _read_records(stream: IO[str]) -> List[Dict[str, Any]]:
+def _read_records(
+    stream: IO[str], strict: bool
+) -> "tuple[List[Dict[str, Any]], int]":
     records: List[Dict[str, Any]] = []
+    skipped = 0
     for line in stream:
         line = line.strip()
-        if line:
-            records.append(json.loads(line))
-    return records
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if strict:
+                raise
+            skipped += 1
+            continue
+        if not isinstance(record, dict):
+            if strict:
+                raise json.JSONDecodeError("trace record is not an object", line, 0)
+            skipped += 1
+            continue
+        records.append(record)
+    return records, skipped
 
 
 def tracer_to_string_buffer() -> "tuple[JsonlTracer, io.StringIO]":

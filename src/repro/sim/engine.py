@@ -66,6 +66,30 @@ class RecurringHandle:
             self._handle = None
 
 
+class ProbeHandle:
+    """Handle for :meth:`Simulator.add_probe`; cancel() stops sampling.
+
+    A probe is an *observer*, not an event: it lives outside the heap,
+    never counts toward ``events_processed``, and must not mutate
+    simulation state — only read it. That separation is what lets a
+    telemetry flush run every window without perturbing determinism
+    fingerprints.
+    """
+
+    __slots__ = ("interval_s", "next_due", "callback", "cancelled")
+
+    def __init__(
+        self, interval_s: float, next_due: float, callback: Callable[[], None]
+    ) -> None:
+        self.interval_s = interval_s
+        self.next_due = next_due
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -82,6 +106,8 @@ class Simulator:
         self._pending_live = 0
         self._run_wall_time = 0.0
         self._running = False
+        self._probes: List[ProbeHandle] = []
+        self._probes_fired = 0
 
     @property
     def now(self) -> float:
@@ -115,6 +141,11 @@ class Simulator:
     def run_wall_time_s(self) -> float:
         """Wall-clock seconds spent inside :meth:`run` so far."""
         return self._run_wall_time
+
+    @property
+    def probes_fired(self) -> int:
+        """Observer-probe firings (never counted as events)."""
+        return self._probes_fired
 
     def _cancel(self, event: _ScheduledEvent) -> None:
         if not event.cancelled:
@@ -182,8 +213,62 @@ class Simulator:
         recurring._handle = self.schedule(initial, tick, priority)
         return recurring
 
+    def add_probe(
+        self,
+        interval_s: float,
+        callback: Callable[[], None],
+        first_at_s: Optional[float] = None,
+    ) -> ProbeHandle:
+        """Sample ``callback`` every ``interval_s`` simulated seconds.
+
+        Probes are read-only observers that fire *between* events: a
+        probe due at time ``t`` runs after every event strictly before
+        ``t`` and before any event at or after ``t`` (the clock is
+        advanced to ``t`` for the callback). They bypass the event heap
+        entirely, so enabling one changes no event count, no schedule
+        order, and no entity behaviour — the telemetry flush hook.
+        """
+        if interval_s <= 0:
+            raise SimulationError(f"probe interval must be positive: {interval_s}")
+        first = self._now + interval_s if first_at_s is None else first_at_s
+        if first < self._now:
+            raise SimulationError(
+                f"cannot probe in the past: t={first} < now={self._now}"
+            )
+        probe = ProbeHandle(interval_s, first, callback)
+        self._probes.append(probe)
+        return probe
+
+    def _fire_probes_until(self, time_limit: float) -> None:
+        """Fire every live probe due at or before ``time_limit``.
+
+        Multiple due probes fire in due-time order (registration order
+        breaks ties), each seeing the clock at its own due time.
+        """
+        if not self._probes:
+            return
+        while True:
+            chosen: Optional[ProbeHandle] = None
+            for probe in self._probes:
+                if probe.cancelled or probe.next_due > time_limit:
+                    continue
+                if chosen is None or probe.next_due < chosen.next_due:
+                    chosen = probe
+            if chosen is None:
+                break
+            if chosen.next_due > self._now:
+                self._now = chosen.next_due
+            chosen.next_due += chosen.interval_s
+            self._probes_fired += 1
+            chosen.callback()
+        if any(p.cancelled for p in self._probes):
+            self._probes = [p for p in self._probes if not p.cancelled]
+
     def step(self) -> bool:
         """Run the next pending event. Returns False if none remain."""
+        next_event = self._peek()
+        if next_event is not None:
+            self._fire_probes_until(next_event.time)
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
@@ -223,6 +308,8 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway schedule?"
                     )
+            if until is not None:
+                self._fire_probes_until(until)
             if until is not None and until > self._now:
                 self._now = until
         finally:

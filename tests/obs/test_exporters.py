@@ -101,3 +101,32 @@ class TestWriteMetrics:
         assert format_for_path("a.jsonl") == "jsonl"
         assert format_for_path("a.JSON") == "jsonl"
         assert format_for_path("a.tbl") == "table"
+
+
+class TestExporterEdgeCases:
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c", help="line one\nline two \\ backslash")
+        text = render_prometheus(reg)
+        assert "# HELP repro_c line one\\nline two \\\\ backslash" in text
+        assert "\nline two" not in text  # no raw newline inside HELP
+
+    def test_zero_observation_histogram_exposes_zero_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_lat_seconds", "Latency", buckets=(0.1, 1.0))
+        text = render_prometheus(reg)
+        assert 'repro_lat_seconds_bucket{le="0.1"} 0' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_lat_seconds_count 0" in text
+        assert "repro_lat_seconds_sum 0" in text
+
+    def test_zero_observation_histogram_jsonl(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_lat_seconds", buckets=(0.1,))
+        entry = json.loads(render_metrics_jsonl(reg).strip())
+        assert entry["count"] == 0
+        assert entry["sum"] == 0.0
+        assert entry["p50"] == 0.0
+
+    def test_empty_registry_jsonl_is_empty(self):
+        assert render_metrics_jsonl(MetricsRegistry()) == ""

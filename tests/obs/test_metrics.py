@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    series_key,
     set_default_registry,
 )
 
@@ -208,3 +209,50 @@ class TestDefaultRegistry:
         finally:
             assert set_default_registry(previous) is isolated
         assert default_registry() is previous
+
+
+class TestNameValidation:
+    """The exposition-format grammar is enforced at creation time."""
+
+    def test_leading_digit_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("9lives_total")
+
+    def test_unicode_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("repro_évents_total")
+
+    def test_colons_allowed_in_metric_names(self):
+        assert Counter("repro:events:total").name == "repro:events:total"
+
+    def test_label_name_grammar_enforced(self):
+        with pytest.raises(ValueError):
+            Counter("repro_x_total", labels={"bad-label": "v"})
+        with pytest.raises(ValueError):
+            Counter("repro_x_total", labels={"1st": "v"})
+
+    def test_colons_not_allowed_in_label_names(self):
+        with pytest.raises(ValueError):
+            Counter("repro_x_total", labels={"a:b": "v"})
+
+
+class TestSeriesKey:
+    def test_bare_name_without_labels(self):
+        assert series_key("repro_x_total") == "repro_x_total"
+        assert series_key("repro_x_total", {}) == "repro_x_total"
+
+    def test_labels_sorted_for_canonical_identity(self):
+        assert (
+            series_key("m", {"b": "2", "a": "1"})
+            == series_key("m", {"a": "1", "b": "2"})
+            == 'm{a="1",b="2"}'
+        )
+
+    def test_label_values_escaped(self):
+        assert series_key("m", {"p": 'a"b\\c\nd'}) == 'm{p="a\\"b\\\\c\\nd"}'
+
+    def test_metric_series_id_matches_series_key(self):
+        metric = Counter("repro_x_total", labels={"kind": "Beacon"})
+        assert metric.series_id == series_key(
+            "repro_x_total", {"kind": "Beacon"}
+        )

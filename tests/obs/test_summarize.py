@@ -79,3 +79,43 @@ class TestRenderSummary:
     def test_render_empty(self):
         text = render_summary(summarize_trace(io.StringIO("")))
         assert "0 records" in text
+
+
+class TestLenientParsing:
+    """Truncated or corrupt JSONL must not kill post-processing."""
+
+    def test_truncated_last_line_skipped_with_count(self):
+        buffer = _sample_trace()
+        text = buffer.getvalue().rstrip("\n")
+        truncated = io.StringIO(text[: len(text) - 10])
+        summary = summarize_trace(truncated)
+        assert summary.skipped_lines == 1
+        assert summary.record_count > 0
+
+    def test_blank_and_garbage_lines_skipped(self):
+        buffer = _sample_trace()
+        dirty = io.StringIO(
+            "\n" + buffer.getvalue() + "not json at all\n[1, 2, 3]\n\n"
+        )
+        summary = summarize_trace(dirty)
+        # Garbage line and non-dict record skipped; blanks don't count.
+        assert summary.skipped_lines == 2
+
+    def test_empty_file_summarizes_to_nothing(self):
+        summary = summarize_trace(io.StringIO(""))
+        assert summary.record_count == 0
+        assert summary.skipped_lines == 0
+
+    def test_strict_mode_still_raises(self):
+        with pytest.raises(ValueError):
+            summarize_trace(io.StringIO("{bad json\n"), strict=True)
+
+    def test_render_warns_about_skips(self):
+        buffer = _sample_trace()
+        dirty = io.StringIO(buffer.getvalue() + "{truncat")
+        text = render_summary(summarize_trace(dirty))
+        assert "skipped 1 malformed line" in text
+
+    def test_render_has_no_warning_when_clean(self):
+        text = render_summary(summarize_trace(_sample_trace()))
+        assert "skipped" not in text

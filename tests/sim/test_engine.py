@@ -199,3 +199,99 @@ class TestObservability:
         sim.run()
         assert sim.pending_events == 0
         assert sim.events_processed == 4
+
+
+class TestProbes:
+    """Observer probes: periodic callbacks that never touch the heap."""
+
+    def test_probe_fires_at_every_interval(self):
+        sim = Simulator()
+        fired = []
+        sim.add_probe(1.0, lambda: fired.append(sim.now))
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_probe_does_not_count_as_an_event(self):
+        sim = Simulator()
+        sim.add_probe(0.5, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+        assert sim.probes_fired == 6
+
+    def test_probe_fires_before_events_at_or_after_its_due_time(self):
+        sim = Simulator()
+        order = []
+        sim.add_probe(1.0, lambda: order.append(("probe", sim.now)))
+        sim.schedule(0.5, lambda: order.append(("event", sim.now)))
+        sim.schedule(1.0, lambda: order.append(("event", sim.now)))
+        sim.run()
+        assert order == [
+            ("event", 0.5),
+            ("probe", 1.0),
+            ("event", 1.0),
+        ]
+
+    def test_run_until_fires_trailing_probes_past_last_event(self):
+        sim = Simulator()
+        fired = []
+        sim.add_probe(1.0, lambda: fired.append(sim.now))
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=3.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_first_at_overrides_phase(self):
+        sim = Simulator()
+        fired = []
+        sim.add_probe(1.0, lambda: fired.append(sim.now), first_at_s=0.25)
+        sim.run(until=2.5)
+        assert fired == [0.25, 1.25, 2.25]
+
+    def test_cancelled_probe_stops_firing(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.add_probe(1.0, lambda: fired.append(sim.now))
+        sim.run(until=2.0)
+        handle.cancel()
+        sim.run(until=5.0)
+        assert fired == [1.0, 2.0]
+
+    def test_probe_interval_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.add_probe(0.0, lambda: None)
+
+    def test_probe_cannot_start_in_the_past(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.add_probe(1.0, lambda: None, first_at_s=1.0)
+
+    def test_probe_sees_clock_at_its_due_time(self):
+        sim = Simulator()
+        seen = []
+        sim.add_probe(1.0, lambda: seen.append(sim.now))
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert seen == [float(i) for i in range(1, 11)]
+
+    def test_same_seed_runs_identical_with_and_without_probe(self):
+        def run(with_probe):
+            sim = Simulator()
+            order = []
+
+            def tick(depth):
+                order.append((sim.now, depth))
+                if depth < 20:
+                    sim.schedule(0.3, lambda: tick(depth + 1))
+
+            if with_probe:
+                sim.add_probe(0.7, lambda: None)
+            sim.schedule(0.0, lambda: tick(0))
+            sim.run()
+            return order, sim.events_processed
+
+        assert run(False) == run(True)
