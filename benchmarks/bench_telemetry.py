@@ -14,6 +14,7 @@ from repro.experiments.bench import (
     bench_algorithm1,
     bench_engine_throughput,
     bench_obs_overhead,
+    bench_sweep_throughput,
     run_benchmarks,
     write_bench_json,
 )
@@ -21,11 +22,38 @@ from repro.obs.diff import diff_files, load_metrics_file
 
 
 def test_engine_event_throughput(record_result):
-    result = bench_engine_throughput(events=20_000, repeats=2)
+    result = bench_engine_throughput(events=20_000, repeats=3, queue="calendar")
     assert result.value > 10_000, "event loop slower than 10k events/s"
     record_result(
         "bench_telemetry_engine",
+        f"{result.name}: {result.value:.0f} {result.unit} (calendar)",
+    )
+
+
+def test_engine_throughput_heap_reference(record_result):
+    """The reference heap backend stays within the same league.
+
+    Not a race between backends — the host is too noisy for that — just
+    a floor so a regression in either backend's hot path is caught.
+    """
+    result = bench_engine_throughput(
+        events=20_000, repeats=3, queue="heap",
+        name="engine_events_per_second_heap",
+    )
+    assert result.value > 10_000, "heap event loop slower than 10k events/s"
+    record_result(
+        "bench_telemetry_engine_heap",
         f"{result.name}: {result.value:.0f} {result.unit}",
+    )
+
+
+def test_sweep_throughput(record_result):
+    result = bench_sweep_throughput(seeds=4, workers=8, duration_s=1.0)
+    assert result.value > 0.2, "sweep slower than one run per 5 s"
+    record_result(
+        "bench_telemetry_sweep",
+        f"{result.name}: {result.value:.2f} {result.unit} "
+        f"({result.detail['workers']:.0f} workers)",
     )
 
 
@@ -64,6 +92,8 @@ def test_bench_json_roundtrips_through_obs_diff(tmp_path):
     loaded = load_metrics_file(str(path_a))
     assert set(loaded) == {
         "engine_events_per_second",
+        "engine_events_per_second_heap",
+        "sweep_runs_per_second",
         "algorithm1_seconds_per_dtim",
         "obs_overhead_fraction",
     }

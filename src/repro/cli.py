@@ -242,6 +242,7 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         port_entry_ttl_s=args.port_ttl,
         port_refresh_interval_s=args.port_refresh,
         telemetry=telemetry,
+        queue_backend=args.queue,
     )
     prepared = prepare_trace_des(trace, config, tracer=tracer)
     if prepared.metrics_server is not None:
@@ -310,6 +311,48 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
             f"wrote {len(result.timeseries.windows)} timeseries window(s) "
             f"to {args.timeseries_out}"
         )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.des_run import DesRunConfig
+    from repro.experiments.sweep import (
+        SweepSpec,
+        render_sweep,
+        run_sweep,
+        write_sweep_json,
+    )
+    from repro.station.client import ClientPolicy
+
+    config = DesRunConfig(
+        policy=ClientPolicy(args.policy),
+        client_count=args.clients,
+        useful_fraction=args.fraction,
+        duration_s=args.duration,
+        dtim_period=args.dtim_period,
+        check_invariants=args.check_invariants,
+        recovery=not args.no_recovery,
+        queue_backend=args.queue,
+    )
+    spec = SweepSpec(
+        scenarios=tuple(args.scenarios),
+        seeds=tuple(range(args.seeds)) if args.seed_list is None
+        else tuple(int(s) for s in args.seed_list.split(",")),
+        config=config,
+        fault_spec=args.fault_plan,
+        timeseries_dir=args.timeseries_dir,
+    )
+    document = run_sweep(spec, workers=args.workers)
+    print(render_sweep(document))
+    if args.out:
+        write_sweep_json(document, args.out)
+        print(f"wrote {args.out}")
+    if document["totals"]["failed"]:
+        failing = ", ".join(
+            f"{f['scenario']}/{f['seed']}" for f in document["failures"]
+        )
+        print(f"sweep: failing cells: {failing}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -453,6 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim_run.add_argument("--dtim-period", type=int, default=1)
     sim_run.add_argument(
+        "--queue", choices=["heap", "calendar"], default=None,
+        help="event-queue backend (default: the engine's default; the "
+             "backends are observably identical)",
+    )
+    sim_run.add_argument(
         "--fault-plan", default=None, metavar="SPEC",
         help="seeded fault plan: a JSON file path or an inline spec like "
              "'loss=0.1,beacon=0.02,seed=7,crash=0@5:15' "
@@ -520,6 +568,67 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=cmd_experiments_run)
     headline = experiments_sub.add_parser("headline", help="claims scorecard")
     headline.set_defaults(func=cmd_experiments_headline)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="sharded seed/scenario sweep: fan DES runs across worker "
+             "processes and merge into one report",
+    )
+    sweep.add_argument(
+        "scenarios", nargs="+",
+        help="scenario names (Classroom, CS_Dept, WML, Starbucks, WRL)",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=10, metavar="N",
+        help="sweep trace seeds 0..N-1 (default 10)",
+    )
+    sweep.add_argument(
+        "--seed-list", default=None, metavar="S1,S2,...",
+        help="explicit comma-separated seed list (overrides --seeds)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes (1 = in-process; report is identical "
+             "either way)",
+    )
+    sweep.add_argument(
+        "--policy", choices=["receive-all", "client-side", "hide"],
+        default="hide",
+    )
+    sweep.add_argument("--clients", type=int, default=3)
+    sweep.add_argument("--fraction", type=float, default=0.10)
+    sweep.add_argument(
+        "--duration", type=float, default=10.0,
+        help="simulated seconds per run (capped at trace duration)",
+    )
+    sweep.add_argument("--dtim-period", type=int, default=1)
+    sweep.add_argument(
+        "--queue", choices=["heap", "calendar"], default=None,
+        help="event-queue backend for every run",
+    )
+    sweep.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="fault-plan spec applied to every run with its seed "
+             "replaced by the run's trace seed",
+    )
+    sweep.add_argument(
+        "--check-invariants", action="store_true",
+        help="arm the invariant suite in every run; violations become "
+             "failing cells, not aborts",
+    )
+    sweep.add_argument(
+        "--no-recovery", action="store_true",
+        help="disable client loss recovery under the fault plan",
+    )
+    sweep.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the repro-sweep/v1 JSON report here",
+    )
+    sweep.add_argument(
+        "--timeseries-dir", default=None, metavar="DIR",
+        help="write one windowed timeseries dump per run into DIR",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     overhead = commands.add_parser("overhead", help="Section V analyses")
     overhead_sub = overhead.add_subparsers(dest="subcommand", required=True)

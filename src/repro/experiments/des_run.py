@@ -34,6 +34,7 @@ from repro.obs.server import MetricsServer
 from repro.obs.timeseries import TimeseriesRecorder, dtim_window_s
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Simulator
+from repro.sim.eventq import QUEUE_KINDS
 from repro.sim.invariants import InvariantSuite
 from repro.sim.medium import Medium
 from repro.station.client import Client, ClientConfig, ClientPolicy
@@ -133,8 +134,18 @@ class DesRunConfig:
     #: scrape endpoint. ``None`` disables both; the run's determinism
     #: fingerprint is identical either way.
     telemetry: Optional[TelemetryConfig] = None
+    #: Event-queue backend for the simulator: ``"heap"``, ``"calendar"``,
+    #: or ``None`` for the engine default. The backends are observably
+    #: identical (the fingerprint-identity tests pin it), so this is a
+    #: pure throughput knob.
+    queue_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.queue_backend is not None and self.queue_backend not in QUEUE_KINDS:
+            raise ConfigurationError(
+                f"unknown queue backend {self.queue_backend!r}; "
+                f"expected one of {QUEUE_KINDS}"
+            )
         if self.client_count < 1:
             raise ConfigurationError("need at least one client")
         if not 0.0 <= self.useful_fraction <= 1.0:
@@ -447,7 +458,7 @@ def prepare_trace_des(
     )
     injector = FaultInjector(active_plan) if active_plan is not None else None
 
-    simulator = Simulator()
+    simulator = Simulator(queue=config.queue_backend)
     medium = Medium(simulator, fault_injector=injector)
     ap = AccessPoint(
         AP_MAC,
@@ -509,7 +520,9 @@ def prepare_trace_des(
         )
         payload_bytes = max(1, record.length_bytes - _FRAMING_OVERHEAD_BYTES)
         packet = build_broadcast_udp_packet(record.udp_port, b"\x00" * payload_bytes)
-        simulator.schedule_at(
+        # post_at, not schedule_at: trace replay never cancels, so the
+        # preschedule loop skips one EventHandle allocation per frame.
+        simulator.post_at(
             min(offered, duration),
             lambda p=packet: ap.deliver_from_ds(p, WIRED_SOURCE),
         )

@@ -1,0 +1,229 @@
+"""Sharded seed/scenario sweeps: many DES runs, one merged report.
+
+A *sweep* is the cross product of scenarios and trace seeds, each cell
+one full deterministic DES replay (:func:`~repro.experiments.des_run
+.run_trace_des`).  Cells are independent by construction — every run
+builds its own trace, simulator, and (when a fault spec is given) its
+own per-seed fault plan — so the sweep shards across worker processes
+with no shared state and merges into a report whose content is
+**independent of the worker count**: results are keyed and sorted by
+``(scenario, seed)``, and the merged fingerprint hashes the sorted
+per-run fingerprints.  ``tests/experiments/test_sweep.py`` pins the
+1-worker-vs-N-workers identity.
+
+Workers use the ``fork`` start method when the platform offers it
+(child processes inherit the parent's imports for free — a ``spawn``
+would re-import the package per worker, dwarfing the per-run work) and
+fall back to in-process execution otherwise, so the runner behaves
+identically — minus the parallelism — on any platform.
+
+The report (schema ``repro-sweep/v1``) is JSON-serializable and
+diffable; per-run failures (invariant violations, configuration
+errors) are captured as structured entries instead of aborting the
+sweep, so one bad seed out of fifty still yields a complete report
+with that seed called out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.des_run import DesRunConfig, TelemetryConfig, run_trace_des
+from repro.faults import FaultPlan
+from repro.sim.invariants import InvariantViolation
+from repro.traces import generate_trace, scenario_by_name
+
+SWEEP_SCHEMA = "repro-sweep/v1"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep: scenarios x seeds under a shared run configuration.
+
+    ``fault_spec`` is a :meth:`~repro.faults.plan.FaultPlan.parse` spec
+    (inline string or JSON file path); its ``seed`` field is overridden
+    with each run's trace seed, so every cell gets an independent but
+    reproducible failure schedule.  ``timeseries_dir`` turns on per-run
+    windowed telemetry and dumps one ``<scenario>_seed<seed>.json``
+    per cell.
+    """
+
+    scenarios: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    config: DesRunConfig = DesRunConfig()
+    fault_spec: Optional[str] = None
+    timeseries_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ConfigurationError("sweep needs at least one scenario")
+        if not self.seeds:
+            raise ConfigurationError("sweep needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError(f"duplicate seeds in sweep: {self.seeds}")
+        for name in self.scenarios:
+            scenario_by_name(name)  # raises ReproError on a bad name
+        if self.fault_spec is not None:
+            FaultPlan.parse(self.fault_spec)  # validate eagerly, once
+
+    def cells(self) -> List[Tuple[str, int]]:
+        """Every (scenario, seed) pair, in deterministic order."""
+        return [(s, seed) for s in self.scenarios for seed in self.seeds]
+
+
+def _run_cell(task: Tuple[str, int, SweepSpec]) -> Dict[str, object]:
+    """Execute one sweep cell; never raises (failures become entries)."""
+    scenario, seed, spec = task
+    entry: Dict[str, object] = {"scenario": scenario, "seed": seed}
+    try:
+        config = spec.config
+        if spec.fault_spec is not None:
+            plan = FaultPlan.parse(spec.fault_spec)
+            config = dataclasses.replace(
+                config, fault_plan=dataclasses.replace(plan, seed=seed)
+            )
+        if spec.timeseries_dir is not None and config.telemetry is None:
+            config = dataclasses.replace(config, telemetry=TelemetryConfig())
+        trace = generate_trace(scenario_by_name(scenario), seed=seed)
+        result = run_trace_des(trace, config)
+        try:
+            entry.update(
+                fingerprint=result.deterministic_fingerprint(),
+                events=result.simulator.events_processed,
+                duration_s=result.duration_s,
+                transmissions=result.medium.transmissions_completed,
+                frames_dropped=result.medium.frames_dropped,
+                queue_kind=result.simulator.queue_kind,
+            )
+            if spec.timeseries_dir is not None and result.timeseries is not None:
+                path = os.path.join(
+                    spec.timeseries_dir, f"{scenario}_seed{seed}.json"
+                )
+                result.timeseries.write(path)
+                entry["timeseries"] = path
+        finally:
+            result.close()
+    except InvariantViolation as exc:
+        entry["error"] = f"invariant violation: {exc}"
+    except ReproError as exc:
+        entry["error"] = str(exc)
+    return entry
+
+
+def merge_results(
+    spec: SweepSpec, results: Sequence[Dict[str, object]], workers: int
+) -> Dict[str, object]:
+    """Fold per-cell results into one ``repro-sweep/v1`` document.
+
+    Pure: the output depends only on the result *set*, never on arrival
+    order or worker count — entries are sorted by (scenario, seed) and
+    the merged fingerprint hashes that sorted sequence.
+    """
+    runs = sorted(results, key=lambda r: (r["scenario"], r["seed"]))
+    failures = [r for r in runs if "error" in r]
+    successes = [r for r in runs if "error" not in r]
+    digest = hashlib.sha256()
+    for run in successes:
+        digest.update(
+            f"{run['scenario']}:{run['seed']}:{run['fingerprint']}\n".encode()
+        )
+    return {
+        "schema": SWEEP_SCHEMA,
+        "scenarios": list(spec.scenarios),
+        "seeds": list(spec.seeds),
+        "workers": workers,
+        "runs": runs,
+        "totals": {
+            "cells": len(runs),
+            "succeeded": len(successes),
+            "failed": len(failures),
+            "events": sum(int(r["events"]) for r in successes),
+            "transmissions": sum(int(r["transmissions"]) for r in successes),
+            "frames_dropped": sum(int(r["frames_dropped"]) for r in successes),
+        },
+        "failures": [
+            {"scenario": r["scenario"], "seed": r["seed"], "error": r["error"]}
+            for r in failures
+        ],
+        "merged_fingerprint": digest.hexdigest(),
+    }
+
+
+def run_sweep(spec: SweepSpec, workers: int = 1) -> Dict[str, object]:
+    """Run every cell of ``spec`` across ``workers`` processes.
+
+    ``workers <= 1`` (or a platform without ``fork``) runs in-process;
+    either way the merged report is identical.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1: {workers}")
+    if spec.timeseries_dir is not None:
+        os.makedirs(spec.timeseries_dir, exist_ok=True)
+    tasks = [(scenario, seed, spec) for scenario, seed in spec.cells()]
+    effective = min(workers, len(tasks))
+    if effective > 1:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            with context.Pool(processes=effective) as pool:
+                results = pool.map(_run_cell, tasks)
+            return merge_results(spec, results, workers=effective)
+        effective = 1
+    results = [_run_cell(task) for task in tasks]
+    return merge_results(spec, results, workers=effective)
+
+
+def write_sweep_json(document: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def render_sweep(document: Dict[str, object]) -> str:
+    """Human summary: per-scenario rollup plus any failing seeds."""
+    from repro.reporting import render_table
+
+    by_scenario: Dict[str, List[Dict[str, object]]] = {}
+    for run in document["runs"]:
+        by_scenario.setdefault(str(run["scenario"]), []).append(run)
+    rows = []
+    for scenario in sorted(by_scenario):
+        runs = by_scenario[scenario]
+        good = [r for r in runs if "error" not in r]
+        rows.append(
+            [
+                scenario,
+                f"{len(good)}/{len(runs)}",
+                str(sum(int(r["events"]) for r in good)),
+                str(sum(int(r["transmissions"]) for r in good)),
+                str(sum(int(r["frames_dropped"]) for r in good)),
+            ]
+        )
+    totals = document["totals"]
+    lines = [
+        render_table(
+            ["scenario", "ok", "events", "frames", "dropped"],
+            rows,
+            title=(
+                f"sweep: {totals['cells']} runs on "
+                f"{document['workers']} worker(s)"
+            ),
+        ),
+        f"merged fingerprint: {document['merged_fingerprint']}",
+    ]
+    for failure in document["failures"]:
+        lines.append(
+            f"FAILED {failure['scenario']} seed {failure['seed']}: "
+            f"{failure['error']}"
+        )
+    return "\n".join(lines)

@@ -30,9 +30,20 @@ def collect_simulator(sim, registry: Optional[MetricsRegistry] = None) -> Metric
     registry.gauge(
         "repro_sim_pending_events", "Live (non-cancelled) scheduled events"
     ).set(sim.pending_events)
+    # queue_depth is the canonical series; heap_depth is the legacy
+    # alias kept so pre-calendar dashboards and diff baselines survive.
+    # Both read Simulator.queue_depth, whichever backend is active.
+    depth = getattr(sim, "queue_depth", None)
+    if depth is None:
+        depth = sim.heap_depth
     registry.gauge(
-        "repro_sim_heap_depth", "Heap entries including cancelled tombstones"
-    ).set(sim.heap_depth)
+        "repro_sim_queue_depth",
+        "Event-queue entries including cancelled tombstones (any backend)",
+    ).set(depth)
+    registry.gauge(
+        "repro_sim_heap_depth",
+        "Deprecated alias for repro_sim_queue_depth",
+    ).set(depth)
     registry.gauge("repro_sim_time_seconds", "Current simulation clock").set(sim.now)
     registry.counter(
         "repro_sim_probes_fired_total",

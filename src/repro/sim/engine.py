@@ -1,58 +1,76 @@
-"""The event loop: a monotonic clock over a binary heap of callbacks."""
+"""The event loop: a monotonic clock over a pluggable event queue.
+
+The queue contract and both backends (reference binary heap, bucketed
+calendar queue) live in :mod:`repro.sim.eventq`; this module owns event
+semantics — total order, cancellation, recurring timers, observer
+probes — and the fused run loop that pops records without a method call
+per event.
+
+Events at equal times fire in (priority, insertion) order.  An event
+record is a 6-slot list ``[time, priority, sequence, callback,
+cancelled, interval_or_None]`` (see ``eventq``); every scheduling API
+consumes exactly one sequence number per queued record, so the live
+count is the arithmetic identity ``sequence - cancelled - processed``
+instead of a per-event counter update.
+
+Counter visibility: ``now`` is exact at all times.  ``events_processed``
+(and therefore ``pending_events``) is kept in a run-loop local for speed
+and synced to the instance at every probe boundary, at ``step()``
+granularity, and on ``run()`` exit — i.e. it is exact everywhere
+telemetry reads it, and may lag only inside a single uninterrupted burst
+of event callbacks.
+"""
 
 from __future__ import annotations
 
-import heapq
 import math
 import time as _time
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Union
 
 from repro.errors import SimulationError
+from repro.sim.eventq import make_queue
 
+_INF = float("inf")
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# Record field indices, for readers of the loops below.
+_TIME, _PRIORITY, _SEQ, _CALLBACK, _CANCELLED, _INTERVAL = range(6)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; supports cancel().
 
-    Cancellation is lazy: the heap entry stays but is skipped when
-    popped, which keeps scheduling O(log n). The simulator is notified
-    so its live-event count stays exact without scanning the heap.
+    Cancellation is lazy: the queue entry stays but is skipped when
+    popped, which keeps cancel O(1). The simulator is notified so its
+    live-event count stays exact without scanning the queue.
     """
 
-    __slots__ = ("_event", "_simulator")
+    __slots__ = ("_record", "_simulator")
 
-    def __init__(self, event: _ScheduledEvent, simulator: "Simulator") -> None:
-        self._event = event
+    def __init__(self, record: list, simulator: "Simulator") -> None:
+        self._record = record
         self._simulator = simulator
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._record[0]
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._record[4]
 
     def cancel(self) -> None:
-        self._simulator._cancel(self._event)
+        self._simulator._cancel(self._record)
 
 
 class RecurringHandle:
     """Handle for :meth:`Simulator.every`; cancel() stops future firings."""
 
-    __slots__ = ("_handle", "_cancelled")
+    __slots__ = ("_record", "_simulator", "_cancelled")
 
-    def __init__(self) -> None:
-        self._handle: Optional[EventHandle] = None
+    def __init__(self, record: list, simulator: "Simulator") -> None:
+        self._record = record
+        self._simulator = simulator
         self._cancelled = False
 
     @property
@@ -61,16 +79,14 @@ class RecurringHandle:
 
     def cancel(self) -> None:
         self._cancelled = True
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        self._simulator._cancel(self._record)
 
 
 class ProbeHandle:
     """Handle for :meth:`Simulator.add_probe`; cancel() stops sampling.
 
-    A probe is an *observer*, not an event: it lives outside the heap,
-    never counts toward ``events_processed``, and must not mutate
+    A probe is an *observer*, not an event: it lives outside the event
+    queue, never counts toward ``events_processed``, and must not mutate
     simulation state — only read it. That separation is what lets a
     telemetry flush run every window without perturbing determinism
     fingerprints.
@@ -95,24 +111,37 @@ class Simulator:
 
     Events at equal times fire in (priority, insertion order). Lower
     priority values fire first; the default priority is 0.
+
+    ``queue`` selects the scheduling backend: ``"calendar"`` (default;
+    the bucketed calendar queue tuned to the beacon-period event mix),
+    ``"heap"`` (the reference binary heap), or a pre-built queue object.
+    The two backends are observably identical — the differential suite
+    and the fingerprint-identity tests pin that — so the choice is
+    purely a throughput knob.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, queue: Union[str, Any, None] = None) -> None:
         self._now = 0.0
-        self._heap: List[_ScheduledEvent] = []
+        self._queue = make_queue(queue)
+        self._push = self._queue.push
         self._sequence = 0
         self._events_processed = 0
         self._events_cancelled = 0
-        self._pending_live = 0
         self._run_wall_time = 0.0
         self._running = False
         self._probes: List[ProbeHandle] = []
         self._probes_fired = 0
+        self._next_probe_due = _INF
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def queue_kind(self) -> str:
+        """Which event-queue backend is active (``heap``/``calendar``)."""
+        return self._queue.kind
 
     @property
     def events_processed(self) -> int:
@@ -127,15 +156,21 @@ class Simulator:
     def pending_events(self) -> int:
         """Live (non-cancelled) scheduled events — O(1).
 
-        Maintained incrementally on schedule/cancel/pop so observability
-        collectors can read it as a gauge without scanning the heap.
+        Every queued record consumes one sequence number, so the live
+        count is ``scheduled - cancelled - processed`` — no scanning,
+        no per-event bookkeeping.
         """
-        return self._pending_live
+        return self._sequence - self._events_cancelled - self._events_processed
+
+    @property
+    def queue_depth(self) -> int:
+        """Queue entries including cancelled tombstones awaiting pop."""
+        return self._queue.depth()
 
     @property
     def heap_depth(self) -> int:
-        """Heap entries including cancelled tombstones awaiting pop."""
-        return len(self._heap)
+        """Backward-compatible alias for :attr:`queue_depth`."""
+        return self._queue.depth()
 
     @property
     def run_wall_time_s(self) -> float:
@@ -147,11 +182,58 @@ class Simulator:
         """Observer-probe firings (never counted as events)."""
         return self._probes_fired
 
-    def _cancel(self, event: _ScheduledEvent) -> None:
-        if not event.cancelled:
-            event.cancelled = True
+    def _cancel(self, record: list) -> None:
+        if not record[4]:
+            record[4] = True
             self._events_cancelled += 1
-            self._pending_live -= 1
+
+    def post(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        _heappush: Callable[[list, list], None] = heappush,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle is allocated.
+
+        The hot-path scheduling call for events that are never
+        cancelled (frame deliveries, trace replay, benchmarks).  The
+        near-window push is inlined here — one compare against the
+        queue's ``near_end`` skips the ``push`` method call for the
+        overwhelmingly common due-soon case.  ``not delay >= 0`` rejects
+        negatives and NaN in one compare; a non-finite resulting time
+        can only reach the queue's cold overflow path, which rejects it.
+        """
+        if not delay >= 0.0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        time = self._now + delay
+        record = [time, priority, sequence, callback, False, None]
+        queue = self._queue
+        if time < queue.near_end:
+            _heappush(queue.near, record)
+        else:
+            queue.push(record)
+
+    def post_at(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no handle is allocated."""
+        if not self._now <= time < _INF:
+            if not math.isfinite(time):
+                raise SimulationError(f"event time must be finite: {time}")
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        record = [time, priority, sequence, callback, False, None]
+        queue = self._queue
+        if time < queue.near_end:
+            heappush(queue.near, record)
+        else:
+            queue.push(record)
 
     def schedule(
         self,
@@ -177,11 +259,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
-        event = _ScheduledEvent(time, priority, self._sequence, callback)
-        self._sequence += 1
-        heapq.heappush(self._heap, event)
-        self._pending_live += 1
-        return EventHandle(event, self)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        record = [time, priority, sequence, callback, False, None]
+        self._push(record)
+        return EventHandle(record, self)
 
     def every(
         self,
@@ -195,23 +277,27 @@ class Simulator:
         The first firing is after ``first_delay_s`` (default: one
         interval). Used by periodic machinery — invariant sweeps,
         keep-alive refreshes — that must not die with a single event.
+
+        Recurring timers are native to the run loop: the popped record
+        is re-armed in place (new time, fresh sequence number) after the
+        callback returns, so steady-state periodic work allocates
+        nothing per firing.
         """
         if interval_s <= 0:
             raise SimulationError(
                 f"recurring interval must be positive: {interval_s}"
             )
-        recurring = RecurringHandle()
-
-        def tick() -> None:
-            if recurring.cancelled:
-                return
-            callback()
-            if not recurring.cancelled:
-                recurring._handle = self.schedule(interval_s, tick, priority)
-
         initial = interval_s if first_delay_s is None else first_delay_s
-        recurring._handle = self.schedule(initial, tick, priority)
-        return recurring
+        if initial < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={initial}")
+        first_time = self._now + initial
+        if not math.isfinite(first_time):
+            raise SimulationError(f"event time must be finite: {first_time}")
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        record = [first_time, priority, sequence, callback, False, interval_s]
+        self._push(record)
+        return RecurringHandle(record, self)
 
     def add_probe(
         self,
@@ -224,7 +310,7 @@ class Simulator:
         Probes are read-only observers that fire *between* events: a
         probe due at time ``t`` runs after every event strictly before
         ``t`` and before any event at or after ``t`` (the clock is
-        advanced to ``t`` for the callback). They bypass the event heap
+        advanced to ``t`` for the callback). They bypass the event queue
         entirely, so enabling one changes no event count, no schedule
         order, and no entity behaviour — the telemetry flush hook.
         """
@@ -237,53 +323,76 @@ class Simulator:
             )
         probe = ProbeHandle(interval_s, first, callback)
         self._probes.append(probe)
+        if first < self._next_probe_due:
+            self._next_probe_due = first
         return probe
 
     def _fire_probes_until(self, time_limit: float) -> None:
         """Fire every live probe due at or before ``time_limit``.
 
         Multiple due probes fire in due-time order (registration order
-        breaks ties), each seeing the clock at its own due time.
+        breaks ties), each seeing the clock at its own due time.  Also
+        recomputes the cached next-due time the run loop plans around.
         """
-        if not self._probes:
-            return
+        probes = self._probes
+        if probes:
+            while True:
+                chosen: Optional[ProbeHandle] = None
+                for probe in probes:
+                    if probe.cancelled or probe.next_due > time_limit:
+                        continue
+                    if chosen is None or probe.next_due < chosen.next_due:
+                        chosen = probe
+                if chosen is None:
+                    break
+                if chosen.next_due > self._now:
+                    self._now = chosen.next_due
+                chosen.next_due += chosen.interval_s
+                self._probes_fired += 1
+                chosen.callback()
+            if any(p.cancelled for p in probes):
+                self._probes = probes = [p for p in probes if not p.cancelled]
+        self._next_probe_due = min(
+            (p.next_due for p in probes), default=_INF
+        )
+
+    def _peek_next_time(self) -> Optional[float]:
+        """Earliest live event time, draining tombstones on the way."""
+        near = self._queue.near
+        advance = self._queue.advance
         while True:
-            chosen: Optional[ProbeHandle] = None
-            for probe in self._probes:
-                if probe.cancelled or probe.next_due > time_limit:
+            while near:
+                record = near[0]
+                if record[4]:
+                    heappop(near)
                     continue
-                if chosen is None or probe.next_due < chosen.next_due:
-                    chosen = probe
-            if chosen is None:
-                break
-            if chosen.next_due > self._now:
-                self._now = chosen.next_due
-            chosen.next_due += chosen.interval_s
-            self._probes_fired += 1
-            chosen.callback()
-        if any(p.cancelled for p in self._probes):
-            self._probes = [p for p in self._probes if not p.cancelled]
+                return record[0]
+            if advance(_INF) is None:
+                return None
 
     def step(self) -> bool:
         """Run the next pending event. Returns False if none remain."""
-        next_event = self._peek()
-        if next_event is not None:
-            self._fire_probes_until(next_event.time)
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self._now:
-                raise SimulationError("event heap yielded a past event")
-            self._now = event.time
-            self._events_processed += 1
-            self._pending_live -= 1
-            event.callback()
-            return True
-        return False
+        next_time = self._peek_next_time()
+        if next_time is None:
+            return False
+        self._fire_probes_until(next_time)
+        record = heappop(self._queue.near)
+        if record[0] < self._now:
+            raise SimulationError("event queue yielded a past event")
+        self._now = record[0]
+        self._events_processed += 1
+        record[3]()
+        interval = record[5]
+        if interval is not None and not record[4]:
+            record[0] += interval
+            sequence = self._sequence
+            self._sequence = sequence + 1
+            record[2] = sequence
+            self._push(record)
+        return True
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until the queue drains or the clock passes ``until``.
 
         When ``until`` is given, the clock is advanced to exactly
         ``until`` at the end even if the last event fired earlier, so
@@ -293,30 +402,77 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         wall_start = _time.perf_counter()
+        queue = self._queue
+        near = queue.near
+        advance = queue.advance
+        push = queue.push
+        pop = heappop
+        hpush = heappush
+        limit = _INF if until is None else until
+        processed = self._events_processed
+        processed_limit = processed + max_events
         try:
-            processed = 0
-            while self._heap:
-                next_event = self._peek()
-                if next_event is None:
-                    break
-                if until is not None and next_event.time > until:
-                    break
-                if not self.step():
-                    break
-                processed += 1
-                if processed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway schedule?"
-                    )
-            if until is not None:
-                self._fire_probes_until(until)
-            if until is not None and until > self._now:
-                self._now = until
+            while True:
+                # Inner limit: the probe boundary expressed as a single
+                # float compare. An event at exactly the probe's due
+                # time must yield to the probe, so the boundary is the
+                # largest float strictly below it.
+                probe_due = self._next_probe_due
+                if probe_due <= limit:
+                    inner_limit = math.nextafter(probe_due, -_INF)
+                else:
+                    inner_limit = limit
+                blocked_at: Optional[float] = None
+                while near:
+                    record = near[0]
+                    event_time = record[0]
+                    if event_time > inner_limit:
+                        blocked_at = event_time
+                        break
+                    pop(near)
+                    if record[4]:
+                        continue
+                    self._now = event_time
+                    processed += 1
+                    record[3]()
+                    interval = record[5]
+                    if interval is not None and not record[4]:
+                        next_time = event_time + interval
+                        record[0] = next_time
+                        sequence = self._sequence
+                        self._sequence = sequence + 1
+                        record[2] = sequence
+                        if next_time < queue.near_end:
+                            hpush(near, record)
+                        else:
+                            push(record)
+                    if processed > processed_limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; runaway schedule?"
+                        )
+                if blocked_at is None:
+                    if advance(limit) is not None:
+                        continue  # fresh events merged into `near`
+                    # Nothing left at or before the limit.
+                    if until is not None:
+                        self._events_processed = processed
+                        self._fire_probes_until(until)
+                        if until > self._now:
+                            self._now = until
+                    return
+                if blocked_at > limit:
+                    # Next event is beyond the horizon: trailing probes,
+                    # then leave the event queued for a later run().
+                    self._events_processed = processed
+                    self._fire_probes_until(limit)
+                    if until is not None and until > self._now:
+                        self._now = until
+                    return
+                # Probe boundary: fire everything due through the
+                # blocking event's timestamp, then resume the fast loop.
+                self._events_processed = processed
+                self._fire_probes_until(blocked_at)
         finally:
+            self._events_processed = processed
             self._run_wall_time += _time.perf_counter() - wall_start
             self._running = False
-
-    def _peek(self) -> Optional[_ScheduledEvent]:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None

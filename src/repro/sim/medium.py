@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple
 from collections import deque
 
 from repro.errors import SimulationError
@@ -85,6 +86,16 @@ class Medium:
             )
         self._simulator = simulator
         self._entities: List[Entity] = []
+        #: Immutable delivery snapshot, rebuilt on attach/detach so the
+        #: per-delivery hot path iterates a tuple instead of copying the
+        #: entity list for every frame.
+        self._targets: Tuple[Entity, ...] = ()
+        #: Frames awaiting delivery, ordered by (deliver_at, sequence):
+        #: a single bound-method drain event per frame replaces the old
+        #: per-frame closure, and one drain delivers every frame due at
+        #: the same tick.
+        self._inflight: List[tuple] = []
+        self._inflight_sequence = 0
         self._phy_overhead_s = phy_overhead_s
         self._propagation_delay_s = propagation_delay_s
         self._busy_until = 0.0
@@ -155,6 +166,7 @@ class Medium:
         if entity in self._entities:
             raise SimulationError(f"{entity!r} already attached to medium")
         self._entities.append(entity)
+        self._targets = tuple(self._entities)
         if not entity.is_attached:
             entity.attach(self._simulator)
 
@@ -168,6 +180,7 @@ class Medium:
             self._entities.remove(entity)
         except ValueError:
             raise SimulationError(f"{entity!r} is not attached to medium")
+        self._targets = tuple(self._entities)
 
     def is_attached(self, entity: Entity) -> bool:
         return entity in self._entities
@@ -228,27 +241,51 @@ class Medium:
         if self._fault_injector is not None:
             deliver_at += self._fault_injector.delivery_jitter_s()
 
-        def _deliver() -> None:
-            self._transmissions_completed += 1
-            dropped = False
-            if self._fault_injector is not None:
-                dropped = self._fault_injector.should_drop(frame)
-            elif self._loss_probability > 0.0 and not _is_beacon(frame):
-                dropped = self._loss_rng.random() < self._loss_probability
-            if dropped:
-                self._frames_dropped += 1
-            else:
-                for entity in list(self._entities):
-                    if entity is not sender:
-                        entity.on_receive(transmission)
-            for observer in self._delivery_observers:
-                observer(transmission, dropped)
-            if dropped:
-                return  # frame corrupted on air: nobody decodes it
-            if on_complete is not None:
-                on_complete(transmission)
+        sequence = self._inflight_sequence
+        self._inflight_sequence = sequence + 1
+        heappush(self._inflight, (deliver_at, sequence, transmission, on_complete))
+        self._simulator.post_at(deliver_at, self._drain_deliveries)
 
-        self._simulator.schedule_at(deliver_at, _deliver)
+    def _drain_deliveries(self) -> None:
+        """Deliver every in-flight frame due at or before the clock.
+
+        One drain event is posted per transmission, but the first drain
+        at a given tick delivers the whole same-tick batch; later drains
+        find nothing due and fall through. The (deliver_at, sequence)
+        heap order reproduces the old one-event-per-frame order exactly,
+        including under fault-injected delivery jitter.
+        """
+        now = self._simulator.now
+        inflight = self._inflight
+        while inflight and inflight[0][0] <= now:
+            _, _, transmission, on_complete = heappop(inflight)
+            self._deliver(transmission, on_complete)
+
+    def _deliver(
+        self,
+        transmission: Transmission,
+        on_complete: Optional[Callable[[Transmission], None]],
+    ) -> None:
+        frame = transmission.frame
+        sender = transmission.sender
+        self._transmissions_completed += 1
+        dropped = False
+        if self._fault_injector is not None:
+            dropped = self._fault_injector.should_drop(frame)
+        elif self._loss_probability > 0.0 and not _is_beacon(frame):
+            dropped = self._loss_rng.random() < self._loss_probability
+        if dropped:
+            self._frames_dropped += 1
+        else:
+            for entity in self._targets:
+                if entity is not sender:
+                    entity.on_receive(transmission)
+        for observer in self._delivery_observers:
+            observer(transmission, dropped)
+        if dropped:
+            return  # frame corrupted on air: nobody decodes it
+        if on_complete is not None:
+            on_complete(transmission)
 
 
 def _is_beacon(frame: Any) -> bool:

@@ -1,0 +1,183 @@
+"""Unit tests for the sharded sweep runner and its merge function."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.experiments.des_run import DesRunConfig
+from repro.experiments.sweep import (
+    SWEEP_SCHEMA,
+    SweepSpec,
+    merge_results,
+    render_sweep,
+    run_sweep,
+    write_sweep_json,
+)
+
+_QUICK = DesRunConfig(client_count=2, duration_s=2.0)
+
+
+def _spec(**kwargs):
+    defaults = dict(scenarios=("Starbucks",), seeds=(0, 1), config=_QUICK)
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestSweepSpec:
+    def test_cells_cross_product_in_order(self):
+        spec = _spec(scenarios=("Starbucks", "Classroom"), seeds=(3, 1))
+        assert spec.cells() == [
+            ("Starbucks", 3),
+            ("Starbucks", 1),
+            ("Classroom", 3),
+            ("Classroom", 1),
+        ]
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            _spec(scenarios=())
+        with pytest.raises(ConfigurationError):
+            _spec(seeds=())
+        with pytest.raises(ConfigurationError):
+            _spec(seeds=(1, 1))
+
+    def test_rejects_bad_scenario_and_fault_spec_eagerly(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            _spec(scenarios=("Atlantis",))
+        with pytest.raises((ConfigurationError, ValueError)):
+            _spec(fault_spec="loss=banana")
+
+
+class TestMergeResults:
+    def test_merge_is_order_invariant(self):
+        spec = _spec()
+        results = [
+            {"scenario": "Starbucks", "seed": 1, "fingerprint": "b",
+             "events": 10, "transmissions": 4, "frames_dropped": 1},
+            {"scenario": "Starbucks", "seed": 0, "fingerprint": "a",
+             "events": 7, "transmissions": 3, "frames_dropped": 0},
+        ]
+        forward = merge_results(spec, results, workers=1)
+        reversed_ = merge_results(spec, list(reversed(results)), workers=1)
+        assert forward["merged_fingerprint"] == reversed_["merged_fingerprint"]
+        assert forward["runs"] == reversed_["runs"]
+        assert [r["seed"] for r in forward["runs"]] == [0, 1]
+        assert forward["totals"] == {
+            "cells": 2, "succeeded": 2, "failed": 0,
+            "events": 17, "transmissions": 7, "frames_dropped": 1,
+        }
+
+    def test_merge_isolates_failures(self):
+        spec = _spec()
+        results = [
+            {"scenario": "Starbucks", "seed": 0, "fingerprint": "a",
+             "events": 7, "transmissions": 3, "frames_dropped": 0},
+            {"scenario": "Starbucks", "seed": 1,
+             "error": "invariant violation: lost frame"},
+        ]
+        merged = merge_results(spec, results, workers=2)
+        assert merged["totals"]["failed"] == 1
+        assert merged["failures"] == [
+            {"scenario": "Starbucks", "seed": 1,
+             "error": "invariant violation: lost frame"},
+        ]
+        # A failed cell contributes nothing to the merged fingerprint …
+        only_good = merge_results(spec, results[:1], workers=1)
+        assert merged["merged_fingerprint"] == only_good["merged_fingerprint"]
+        # … and the failure is visible in the human rendering.
+        rendered = render_sweep(merged)
+        assert "FAILED Starbucks seed 1" in rendered
+
+
+class TestRunSweep:
+    def test_report_shape_and_determinism(self, tmp_path):
+        spec = _spec()
+        document = run_sweep(spec, workers=1)
+        assert document["schema"] == SWEEP_SCHEMA
+        assert document["totals"] == {
+            "cells": 2, "succeeded": 2, "failed": 0,
+            "events": document["totals"]["events"],
+            "transmissions": document["totals"]["transmissions"],
+            "frames_dropped": 0,
+        }
+        again = run_sweep(spec, workers=1)
+        assert document["merged_fingerprint"] == again["merged_fingerprint"]
+        out = tmp_path / "sweep.json"
+        write_sweep_json(document, str(out))
+        assert json.loads(out.read_text())["schema"] == SWEEP_SCHEMA
+
+    def test_invariant_failure_becomes_failing_cell(self):
+        # No-recovery under loss trips the invariant suite for some
+        # seeds; either way the sweep must complete and classify every
+        # cell rather than abort.
+        spec = _spec(
+            seeds=(0, 1, 2),
+            config=DesRunConfig(
+                client_count=2,
+                duration_s=4.0,
+                check_invariants=True,
+                recovery=False,
+            ),
+            fault_spec="loss=0.4",
+        )
+        document = run_sweep(spec, workers=1)
+        assert document["totals"]["cells"] == 3
+        assert (
+            document["totals"]["succeeded"] + document["totals"]["failed"] == 3
+        )
+        for failure in document["failures"]:
+            assert "invariant" in failure["error"]
+
+    def test_timeseries_dir_gets_one_dump_per_cell(self, tmp_path):
+        spec = _spec(timeseries_dir=str(tmp_path / "ts"))
+        document = run_sweep(spec, workers=1)
+        dumps = sorted((tmp_path / "ts").iterdir())
+        assert [d.name for d in dumps] == [
+            "Starbucks_seed0.json",
+            "Starbucks_seed1.json",
+        ]
+        for run in document["runs"]:
+            windows = json.loads(
+                (tmp_path / "ts" / f"Starbucks_seed{run['seed']}.json").read_text()
+            )
+            assert windows["windows"]
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(_spec(), workers=0)
+
+
+class TestSweepCli:
+    def test_cli_reports_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = cli_main(
+            [
+                "sweep", "Starbucks",
+                "--seeds", "2", "--clients", "2", "--duration", "2",
+                "--workers", "2", "--out", str(out),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "merged fingerprint:" in captured.out
+        assert json.loads(out.read_text())["totals"]["failed"] == 0
+
+    def test_cli_seed_list_and_failing_exit(self, capsys):
+        code = cli_main(
+            [
+                "sweep", "Starbucks",
+                "--seed-list", "0,1,2",
+                "--clients", "2", "--duration", "4",
+                "--fault-plan", "loss=0.4",
+                "--check-invariants", "--no-recovery",
+            ]
+        )
+        captured = capsys.readouterr()
+        document_failed = "FAILED" in captured.out
+        assert code == (1 if document_failed else 0)
+        if document_failed:
+            assert "failing cells:" in captured.err

@@ -44,6 +44,7 @@ def _sweep_run(seed: int, rate: float):
     )
 
 
+@pytest.mark.sweep
 @pytest.mark.parametrize("rate", LOSS_RATES)
 def test_seed_sweep_invariants_hold(rate):
     failing = []
