@@ -1,5 +1,7 @@
 """Telemetry benchmarks: engine throughput, Algorithm-1 cost, and the
-observability overhead contract (instrumented vs NULL_TRACER < 10%).
+overhead contracts — streaming observability (instrumented vs
+NULL_TRACER < 10%) and the sampling-mode attribution profiler
+(profiled vs unprofiled < 5%).
 
 The same measurements back ``repro bench``, which writes
 ``BENCH_telemetry.json`` (schema ``repro-bench/v1``); ``repro obs diff``
@@ -14,6 +16,7 @@ from repro.experiments.bench import (
     bench_algorithm1,
     bench_engine_throughput,
     bench_obs_overhead,
+    bench_profiler_overhead,
     bench_sweep_throughput,
     run_benchmarks,
     write_bench_json,
@@ -82,6 +85,21 @@ def test_obs_overhead_under_10_percent(record_result):
     )
 
 
+def test_profiler_overhead_under_5_percent(record_result):
+    result = bench_profiler_overhead(duration_s=6.0, repeats=3)
+    record_result(
+        "bench_telemetry_profiler",
+        f"{result.name}: {result.value:.1%} "
+        f"(baseline {result.detail['baseline_wall_s'] * 1e3:.1f} ms, "
+        f"sampling {result.detail['sampling_wall_s'] * 1e3:.1f} ms, "
+        f"exact {result.detail['exact_wall_s'] * 1e3:.1f} ms)",
+    )
+    assert result.value < 0.05, (
+        f"sampling-mode profiler costs {result.value:.1%} "
+        "(contract: < 5%)"
+    )
+
+
 def test_bench_json_roundtrips_through_obs_diff(tmp_path):
     document = run_benchmarks(quick=True, repeats=1)
     path_a = tmp_path / "BENCH_a.json"
@@ -96,6 +114,7 @@ def test_bench_json_roundtrips_through_obs_diff(tmp_path):
         "sweep_runs_per_second",
         "algorithm1_seconds_per_dtim",
         "obs_overhead_fraction",
+        "profiler_overhead_fraction",
     }
     assert json.loads(path_a.read_text())["schema"] == "repro-bench/v1"
 

@@ -15,8 +15,15 @@ Commands:
 * ``overhead capacity`` / ``overhead delay`` — Section V analyses.
 * ``obs summarize`` — aggregate a ``--trace-log`` file into span/event
   statistics.
-* ``obs diff`` — compare two runs' metrics/timeseries/bench artifacts
-  with tolerances (nonzero exit on regression).
+* ``obs diff`` — compare two runs' metrics/timeseries/bench/profile
+  artifacts with tolerances (nonzero exit on regression).
+* ``profile`` — run a scenario under the attribution profiler and
+  report where callback wall time goes (hotspot table, a
+  ``repro-profile/v1`` JSON report, and a collapsed-stack file for
+  flamegraph tooling).
+* ``sweep`` — sharded seed/scenario sweeps with per-cell progress
+  lines, optional per-run profiling (``--profile``), and a live
+  fleet-telemetry endpoint (``--serve-metrics``).
 * ``bench`` — the telemetry benchmark suite; writes
   ``BENCH_telemetry.json`` for ``obs diff``.
 """
@@ -248,7 +255,7 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
     if prepared.metrics_server is not None:
         print(
             f"serving metrics on {prepared.metrics_server.url}/metrics "
-            "(also /timeseries, /healthz)"
+            "(also /timeseries, /healthz, /profile)"
         )
     try:
         result = prepared.execute()
@@ -263,6 +270,15 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         f"{trace.name}: {result.duration_s:.0f} s simulated under "
         f"{args.policy} ({config.client_count} clients, {profile.name}), "
         f"{sim.events_processed} events in {sim.run_wall_time_s:.3f} s wall"
+    )
+    rate = (
+        sim.events_processed / sim.run_wall_time_s
+        if sim.run_wall_time_s > 0 else 0.0
+    )
+    print(
+        f"engine: {sim.queue_kind} queue, depth {sim.queue_depth} pending, "
+        f"{sim.events_cancelled} cancelled, {sim.probes_fired} probes, "
+        f"{rate:,.0f} events/s wall"
     )
     print(
         f"AP: {ap.counters.dtims_sent} DTIMs, "
@@ -318,12 +334,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.des_run import DesRunConfig
     from repro.experiments.sweep import (
         SweepSpec,
+        SweepTelemetry,
+        render_progress_line,
         render_sweep,
         run_sweep,
         write_sweep_json,
     )
     from repro.station.client import ClientPolicy
 
+    profiler = None
+    if args.profile:
+        from repro.obs.profiler import ProfilerConfig
+
+        profiler = ProfilerConfig(mode=args.profile, stride=args.profile_stride)
     config = DesRunConfig(
         policy=ClientPolicy(args.policy),
         client_count=args.clients,
@@ -333,6 +356,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         check_invariants=args.check_invariants,
         recovery=not args.no_recovery,
         queue_backend=args.queue,
+        profiler=profiler,
     )
     spec = SweepSpec(
         scenarios=tuple(args.scenarios),
@@ -342,7 +366,39 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fault_spec=args.fault_plan,
         timeseries_dir=args.timeseries_dir,
     )
-    document = run_sweep(spec, workers=args.workers)
+    telemetry = None
+    server = None
+    if args.serve_metrics is not None:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.server import MetricsServer
+
+        telemetry = SweepTelemetry()
+        registry = MetricsRegistry()
+        server = MetricsServer(
+            registry=registry,
+            collect_fn=lambda: telemetry.collect_into(registry),
+            health_fn=telemetry.health,
+            port=args.serve_metrics,
+        )
+        server.start()
+        print(
+            f"serving sweep telemetry on {server.url}/metrics "
+            "(also /healthz)"
+        )
+
+    def progress(entry, done, total):
+        print(render_progress_line(entry, done, total), flush=True)
+
+    try:
+        document = run_sweep(
+            spec,
+            workers=args.workers,
+            progress=None if args.no_progress else progress,
+            telemetry=telemetry,
+        )
+    finally:
+        if server is not None:
+            server.stop()
     print(render_sweep(document))
     if args.out:
         write_sweep_json(document, args.out)
@@ -353,6 +409,61 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         print(f"sweep: failing cells: {failing}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.des_run import DesRunConfig, prepare_trace_des
+    from repro.obs.profiler import (
+        ProfilerConfig,
+        render_profile_table,
+        write_profile_json,
+    )
+    from repro.sim.invariants import InvariantViolation
+    from repro.station.client import ClientPolicy
+
+    source = args.source or args.scenario
+    if source is None:
+        print("error: give a scenario (positional or --scenario)",
+              file=sys.stderr)
+        return 2
+    trace = _load_trace(source)
+    config = DesRunConfig(
+        policy=ClientPolicy(args.policy),
+        client_count=args.clients,
+        useful_fraction=args.fraction,
+        duration_s=args.duration,
+        dtim_period=args.dtim_period,
+        queue_backend=args.queue,
+        profiler=ProfilerConfig(mode=args.mode, stride=args.stride),
+    )
+    prepared = prepare_trace_des(trace, config)
+    try:
+        result = prepared.execute()
+    except InvariantViolation as exc:
+        print(f"invariant violation: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        prepared.close()
+    try:
+        profiler = result.profiler
+        document = result.profile_report()
+        print(
+            f"{trace.name}: {result.duration_s:.0f} s simulated under "
+            f"{args.policy} ({config.client_count} clients), "
+            f"{result.simulator.events_processed} events in "
+            f"{result.simulator.run_wall_time_s:.3f} s wall "
+            f"({args.mode} mode, stride {profiler.stride})"
+        )
+        print(render_profile_table(document, top=args.top))
+        if args.out:
+            write_profile_json(document, args.out)
+            print(f"wrote profile report to {args.out}")
+        if args.collapsed:
+            profiler.write_collapsed(args.collapsed)
+            print(f"wrote collapsed stacks to {args.collapsed}")
+    finally:
+        result.close()
     return 0
 
 
@@ -628,7 +739,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeseries-dir", default=None, metavar="DIR",
         help="write one windowed timeseries dump per run into DIR",
     )
+    sweep.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve live fleet telemetry (/metrics + /healthz) on this "
+             "port while the sweep runs (0 = ephemeral port): cells "
+             "done/failed, per-worker throughput, profiler hot totals",
+    )
+    sweep.add_argument(
+        "--profile", choices=["exact", "sampling"], default=None,
+        metavar="MODE",
+        help="profile every run's callback sites ('exact' or "
+             "'sampling'); the merged attribution profile lands in the "
+             "report's 'profile' section",
+    )
+    sweep.add_argument(
+        "--profile-stride", type=int, default=16, metavar="N",
+        help="sampling stride for --profile sampling (default 16)",
+    )
+    sweep.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-cell progress lines",
+    )
     sweep.set_defaults(func=cmd_sweep)
+
+    profile = commands.add_parser(
+        "profile",
+        help="attribute DES wall time to callback sites (hotspot table, "
+             "repro-profile/v1 JSON, collapsed stacks)",
+    )
+    profile.add_argument(
+        "source", nargs="?", default=None,
+        help="scenario name or JSONL trace path",
+    )
+    profile.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="scenario name (alternative to the positional source)",
+    )
+    profile.add_argument(
+        "--mode", choices=["exact", "sampling"], default="exact",
+        help="'exact' times every event; 'sampling' times every "
+             "--stride-th event at near-zero overhead (default exact)",
+    )
+    profile.add_argument(
+        "--stride", type=int, default=16, metavar="N",
+        help="sampling stride (ignored in exact mode; default 16)",
+    )
+    profile.add_argument(
+        "--policy", choices=["receive-all", "client-side", "hide"],
+        default="hide",
+    )
+    profile.add_argument("--clients", type=int, default=3)
+    profile.add_argument("--fraction", type=float, default=0.10)
+    profile.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated seconds (capped at the trace duration)",
+    )
+    profile.add_argument("--dtim-period", type=int, default=1)
+    profile.add_argument(
+        "--queue", choices=["heap", "calendar"], default=None,
+        help="event-queue backend",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows in the hotspot table (default 15)",
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the repro-profile/v1 JSON report here",
+    )
+    profile.add_argument(
+        "--collapsed", default=None, metavar="PATH",
+        help="write collapsed-stack lines here (flamegraph.pl / "
+             "speedscope input)",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     overhead = commands.add_parser("overhead", help="Section V analyses")
     overhead_sub = overhead.add_subparsers(dest="subcommand", required=True)

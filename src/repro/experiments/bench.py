@@ -18,6 +18,13 @@ The benchmarks cover the paths every perf PR touches:
   is timed separately in ``detail`` (it serializes every span and is
   deliberately not under the contract). The contract is < 10%;
   ``benchmarks/bench_telemetry.py`` asserts it.
+* ``profiler_overhead_fraction`` — the cost of the sampling-mode
+  attribution profiler over the same seeded run unprofiled. The
+  sampled run loop touches one extra countdown per event and resolves
+  a site every stride-th event, so the contract is < 5%;
+  ``benchmarks/bench_telemetry.py`` asserts it. The exact mode is
+  timed into ``detail`` for visibility but carries no contract (it
+  calls ``perf_counter`` twice per event by design).
 
 Results are written as ``BENCH_telemetry.json`` under schema
 ``repro-bench/v1``, which ``repro obs diff`` parses — so CI can compare
@@ -277,6 +284,67 @@ def bench_obs_overhead(
     )
 
 
+def bench_profiler_overhead(
+    duration_s: float = 8.0,
+    clients: int = 25,
+    repeats: int = 3,
+    stride: int = 16,
+    scenario: str = "Classroom",
+) -> BenchResult:
+    """Sampling-profiler vs unprofiled wall time, same seeded run.
+
+    Same methodology as :func:`bench_obs_overhead`: warm-up, then
+    interleaved best-of-N on both sides so host drift cancels. The
+    profiled side attaches a sampling-mode
+    :class:`~repro.obs.profiler.AttributionProfiler` at the default
+    stride; the exact mode is timed once into ``detail`` so its cost
+    stays visible without being under the < 5% contract.
+    """
+    from repro.obs.profiler import ProfilerConfig
+
+    trace = generate_trace(scenario_by_name(scenario))
+    base_config = DesRunConfig(client_count=clients, duration_s=duration_s)
+    sampling_config = replace(
+        base_config, profiler=ProfilerConfig(mode="sampling", stride=stride)
+    )
+    exact_config = replace(
+        base_config, profiler=ProfilerConfig(mode="exact")
+    )
+
+    def timed(config: DesRunConfig) -> float:
+        result = run_trace_des(trace, config)
+        try:
+            return result.simulator.run_wall_time_s
+        finally:
+            result.close()
+
+    timed(base_config)
+    timed(sampling_config)
+    base_samples: List[float] = []
+    sampled_samples: List[float] = []
+    for _ in range(max(1, repeats)):
+        base_samples.append(timed(base_config))
+        sampled_samples.append(timed(sampling_config))
+    base_s = min(base_samples)
+    sampled_s = min(sampled_samples)
+    exact_s = timed(exact_config)
+    overhead = sampled_s / base_s - 1.0 if base_s > 0 else 0.0
+    return BenchResult(
+        name="profiler_overhead_fraction",
+        value=overhead,
+        unit="fraction",
+        higher_is_better=False,
+        detail={
+            "baseline_wall_s": base_s,
+            "sampling_wall_s": sampled_s,
+            "exact_wall_s": exact_s,
+            "stride": float(stride),
+            "duration_s": duration_s,
+            "clients": float(clients),
+        },
+    )
+
+
 def run_benchmarks(
     quick: bool = False, repeats: Optional[int] = None
 ) -> Dict[str, object]:
@@ -302,6 +370,7 @@ def run_benchmarks(
         ),
         bench_algorithm1(iterations=300 if quick else 2_000, repeats=reps),
         bench_obs_overhead(duration_s=4.0 if quick else 8.0, repeats=reps),
+        bench_profiler_overhead(duration_s=4.0 if quick else 8.0, repeats=reps),
     ]
     return {
         "schema": BENCH_SCHEMA,

@@ -19,6 +19,7 @@ import hashlib
 import json
 import threading
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 from repro.ap.access_point import AccessPoint, ApConfig
@@ -28,8 +29,9 @@ from repro.energy.profile import DeviceEnergyProfile, NEXUS_ONE
 from repro.errors import ConfigurationError
 from repro.faults import FaultInjector, FaultPlan
 from repro.net.packet import build_broadcast_udp_packet
-from repro.obs.collectors import collect_all
+from repro.obs.collectors import collect_all, collect_profiler
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import AttributionProfiler, ProfilerConfig
 from repro.obs.server import MetricsServer
 from repro.obs.timeseries import TimeseriesRecorder, dtim_window_s
 from repro.obs.tracing import NULL_TRACER
@@ -139,6 +141,11 @@ class DesRunConfig:
     #: identical (the fingerprint-identity tests pin it), so this is a
     #: pure throughput knob.
     queue_backend: Optional[str] = None
+    #: Hot-path attribution profiling (``repro profile``). Like the
+    #: telemetry stack, attaching it leaves the run's determinism
+    #: fingerprint bit-identical — the profiler observes the host
+    #: clock, never the simulation.
+    profiler: Optional[ProfilerConfig] = None
 
     def __post_init__(self) -> None:
         if self.queue_backend is not None and self.queue_backend not in QUEUE_KINDS:
@@ -186,6 +193,8 @@ class DesRunResult:
     timeseries: Optional[TimeseriesRecorder] = None
     live_registry: Optional[MetricsRegistry] = None
     metrics_server: Optional[MetricsServer] = None
+    #: Live when the run profiled its hot path.
+    profiler: Optional[AttributionProfiler] = None
 
     def close(self) -> None:
         """Stop the metrics server, if one is still running."""
@@ -229,6 +238,12 @@ class DesRunResult:
         payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    def profile_report(self) -> Optional[Dict[str, object]]:
+        """The run's ``repro-profile/v1`` document (None if unprofiled)."""
+        if self.profiler is None:
+            return None
+        return self.profiler.report()
+
 
 class PreparedDesRun:
     """A fully wired DES run that has not executed yet.
@@ -267,8 +282,12 @@ class PreparedDesRun:
         self.live_registry: Optional[MetricsRegistry] = None
         self.recorder: Optional[TimeseriesRecorder] = None
         self.metrics_server: Optional[MetricsServer] = None
+        self.profiler: Optional[AttributionProfiler] = None
         self._collect_lock = threading.Lock()
         self._executed = False
+        if config.profiler is not None:
+            self.profiler = AttributionProfiler(config.profiler)
+            simulator.attach_profiler(self.profiler)
         if config.telemetry is not None:
             self._wire_telemetry(config.telemetry)
 
@@ -287,6 +306,9 @@ class PreparedDesRun:
         )
         self.recorder.attach(self.simulator)
         if telemetry.serve_port is not None:
+            profile_fn = None
+            if self.profiler is not None:
+                profile_fn = self.profiler.report
             self.metrics_server = MetricsServer(
                 self.live_registry,
                 collect_fn=self.collect_live,
@@ -296,6 +318,7 @@ class PreparedDesRun:
                     "events_processed": self.simulator.events_processed,
                     "trace": self.trace.name,
                 },
+                profile_fn=profile_fn,
                 host=telemetry.serve_host,
                 port=telemetry.serve_port,
             )
@@ -386,13 +409,18 @@ class PreparedDesRun:
         if registry is None:
             registry = self.live_registry = MetricsRegistry()
         with self._collect_lock:
-            return collect_all(
+            collect_all(
                 registry,
                 simulator=self.simulator,
                 medium=self.medium,
                 access_points=[self.access_point],
                 clients=self.clients,
             )
+            if self.profiler is not None:
+                # Live scrapes only: end-of-run collection (and thus
+                # determinism fingerprints) never includes these.
+                collect_profiler(self.profiler, registry)
+            return registry
 
     def close(self) -> None:
         if self.metrics_server is not None:
@@ -428,6 +456,7 @@ class PreparedDesRun:
             timeseries=self.recorder,
             live_registry=self.live_registry,
             metrics_server=self.metrics_server,
+            profiler=self.profiler,
         )
 
 
@@ -522,9 +551,12 @@ def prepare_trace_des(
         packet = build_broadcast_udp_packet(record.udp_port, b"\x00" * payload_bytes)
         # post_at, not schedule_at: trace replay never cancels, so the
         # preschedule loop skips one EventHandle allocation per frame.
+        # partial, not a lambda: same call, but the profiler can unwrap
+        # it to the real site (AccessPoint.deliver_from_ds) instead of
+        # attributing every trace frame to an anonymous <lambda>.
         simulator.post_at(
             min(offered, duration),
-            lambda p=packet: ap.deliver_from_ds(p, WIRED_SOURCE),
+            partial(ap.deliver_from_ds, packet, WIRED_SOURCE),
         )
 
     return PreparedDesRun(

@@ -54,11 +54,21 @@ from repro.obs.collectors import (
     collect_all,
     collect_client,
     collect_medium,
+    collect_profiler,
     collect_simulator,
+)
+from repro.obs.profiler import (
+    PROFILE_SCHEMA,
+    AttributionProfiler,
+    ProfilerConfig,
+    merge_profiles,
+    render_profile_table,
+    write_profile_json,
 )
 from repro.obs.summarize import TraceSummary, render_summary, summarize_trace
 
 __all__ = [
+    "AttributionProfiler",
     "Counter",
     "DEFAULT_BUCKETS",
     "DiffResult",
@@ -70,6 +80,8 @@ __all__ = [
     "MetricsServer",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILE_SCHEMA",
+    "ProfilerConfig",
     "TIMESERIES_SCHEMA",
     "TimeseriesRecorder",
     "TraceSummary",
@@ -78,7 +90,11 @@ __all__ = [
     "collect_all",
     "collect_client",
     "collect_medium",
+    "collect_profiler",
     "collect_simulator",
+    "merge_profiles",
+    "render_profile_table",
+    "write_profile_json",
     "default_registry",
     "diff_files",
     "diff_metrics",

@@ -59,6 +59,51 @@ def collect_simulator(sim, registry: Optional[MetricsRegistry] = None) -> Metric
     return registry
 
 
+def collect_profiler(
+    profiler, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Attribution-profiler state: per-site wall time and event counts.
+
+    Every family here measures the *host* clock, so these series are
+    only ever pulled into live-scrape registries — never into the
+    end-of-run collection that determinism fingerprints hash
+    (:func:`collect_all` deliberately knows nothing about profilers).
+    """
+    registry = registry if registry is not None else default_registry()
+    registry.counter(
+        "repro_profile_events_total",
+        "Events executed under the attribution profiler",
+    ).set_total(profiler.events_seen)
+    registry.counter(
+        "repro_profile_run_wall_seconds_total",
+        "Wall time of profiled run() windows",
+    ).set_total(profiler.run_wall_s)
+    registry.counter(
+        "repro_profile_attributed_wall_seconds_total",
+        "Wall time attributed to event callbacks (scaled in sampling mode)",
+    ).set_total(profiler.attributed_wall_s)
+    registry.counter(
+        "repro_profile_scheduler_overhead_seconds_total",
+        "Run wall time left to the engine's own pop/push/dispatch",
+    ).set_total(profiler.scheduler_overhead_s)
+    for site in profiler.site_rows():
+        labels = {
+            "site": f"{site['owner']}.{site['method']}",
+            "kind": str(site["kind"]),
+        }
+        registry.counter(
+            "repro_profile_site_wall_seconds_total",
+            "Attributed wall seconds by callback site",
+            labels=labels,
+        ).set_total(float(site["wall_s"]))
+        registry.counter(
+            "repro_profile_site_events_total",
+            "Attributed events by callback site",
+            labels=labels,
+        ).set_total(float(site["events"]))
+    return registry
+
+
 def collect_medium(medium, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Channel accounting: airtime by frame kind, queueing, drops."""
     registry = registry if registry is not None else default_registry()

@@ -19,6 +19,9 @@ Recognized file shapes (detected from content, not extension):
   — compared at the final window's cumulative values.
 * Benchmark JSON (``repro bench``, schema ``repro-bench/v1``) — one
   entry per benchmark value.
+* Profile JSON (``repro profile``, schema ``repro-profile/v1``) — one
+  entry per site for events and attributed wall seconds, plus the
+  run-level totals.
 * A bare fingerprint line (``deterministic_fingerprint`` hex) —
   compared for exact equality.
 """
@@ -104,6 +107,28 @@ def _load_json_document(doc: object) -> Dict[str, Value]:
                     out[str(name)] = float(entry["value"])
                 elif isinstance(entry, (int, float)):
                     out[str(name)] = float(entry)
+            return out
+        if schema == "repro-profile/v1":
+            out = {}
+            for site in doc.get("sites") or []:
+                labels = {
+                    "site": f"{site['owner']}.{site['method']}",
+                    "kind": str(site.get("kind", "event")),
+                }
+                out[series_key("repro_profile_site_events_total", labels)] = (
+                    float(site.get("events", 0))
+                )
+                out[series_key("repro_profile_site_wall_seconds_total", labels)] = (
+                    float(site.get("wall_s", 0.0))
+                )
+            for field in (
+                "events_total",
+                "run_wall_s",
+                "attributed_wall_s",
+                "scheduler_overhead_s",
+            ):
+                if isinstance(doc.get(field), (int, float)):
+                    out[f"repro_profile_{field}"] = float(doc[field])
             return out
         if schema == "repro-timeseries/v1":
             windows = doc.get("windows") or []

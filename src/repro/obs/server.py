@@ -10,6 +10,9 @@ simulation and exposes three endpoints:
   empty document when no recorder is attached).
 * ``/healthz`` — liveness plus whatever ``health_fn`` reports (the DES
   harness reports the current simulation clock).
+* ``/profile`` — the attached ``profile_fn``'s ``repro-profile/v1``
+  document as JSON (an empty document when no profiler is attached),
+  so a hotspot view is one ``curl`` away while a run is still going.
 
 The server binds ``127.0.0.1`` by default and supports port 0 for an
 ephemeral port (tests); the bound port is available as :attr:`port`
@@ -32,7 +35,7 @@ from repro.obs.timeseries import TIMESERIES_SCHEMA, TimeseriesRecorder
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
-ENDPOINTS = ("/metrics", "/timeseries", "/healthz")
+ENDPOINTS = ("/metrics", "/timeseries", "/healthz", "/profile")
 
 
 class _ObsHTTPServer(ThreadingHTTPServer):
@@ -57,6 +60,8 @@ class _Handler(BaseHTTPRequestHandler):
                 body, content_type = owner.render_timeseries(), JSON_CONTENT_TYPE
             elif path == "/healthz":
                 body, content_type = owner.render_health(), JSON_CONTENT_TYPE
+            elif path == "/profile":
+                body, content_type = owner.render_profile(), JSON_CONTENT_TYPE
             else:
                 self._respond(
                     404,
@@ -89,6 +94,7 @@ class MetricsServer:
         collect_fn: Optional[Callable[[], None]] = None,
         recorder: Optional[TimeseriesRecorder] = None,
         health_fn: Optional[Callable[[], Dict[str, object]]] = None,
+        profile_fn: Optional[Callable[[], Dict[str, object]]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -96,6 +102,7 @@ class MetricsServer:
         self._collect_fn = collect_fn
         self.recorder = recorder
         self._health_fn = health_fn
+        self._profile_fn = profile_fn
         self._host = host
         self._requested_port = port
         self._httpd: Optional[_ObsHTTPServer] = None
@@ -120,6 +127,17 @@ class MetricsServer:
                      "samples_taken": 0}
                 )
             return self.recorder.to_json()
+
+    def render_profile(self) -> str:
+        from repro.obs.profiler import PROFILE_SCHEMA
+
+        with self._lock:
+            if self._profile_fn is None:
+                return json.dumps(
+                    {"schema": PROFILE_SCHEMA, "sites": [],
+                     "events_total": 0}
+                )
+            return json.dumps(self._profile_fn(), sort_keys=True)
 
     def render_health(self) -> str:
         with self._lock:

@@ -132,6 +132,7 @@ class Simulator:
         self._probes: List[ProbeHandle] = []
         self._probes_fired = 0
         self._next_probe_due = _INF
+        self._profiler: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -181,6 +182,32 @@ class Simulator:
     def probes_fired(self) -> int:
         """Observer-probe firings (never counted as events)."""
         return self._probes_fired
+
+    @property
+    def profiler(self) -> Optional[Any]:
+        """The attached attribution profiler, if any."""
+        return self._profiler
+
+    def attach_profiler(self, profiler: Any) -> Any:
+        """Route event execution through ``profiler`` (attribution).
+
+        The profiler is an *observer of the host clock only*: it wraps
+        callback invocation with wall timing but adds, removes, and
+        reorders nothing, so same-seed fingerprints are identical with
+        or without it.  When no profiler is attached, ``run()`` takes
+        the original fused loop — detached profiling costs zero.
+        """
+        if self._running:
+            raise SimulationError("cannot attach a profiler mid-run")
+        if self._profiler is not None:
+            raise SimulationError("a profiler is already attached")
+        self._profiler = profiler
+        return profiler
+
+    def detach_profiler(self) -> None:
+        if self._running:
+            raise SimulationError("cannot detach a profiler mid-run")
+        self._profiler = None
 
     def _cancel(self, record: list) -> None:
         if not record[4]:
@@ -381,7 +408,10 @@ class Simulator:
             raise SimulationError("event queue yielded a past event")
         self._now = record[0]
         self._events_processed += 1
-        record[3]()
+        if self._profiler is None:
+            record[3]()
+        else:
+            self._profiler.profiled_call(record)
         interval = record[5]
         if interval is not None and not record[4]:
             record[0] += interval
@@ -400,6 +430,8 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
+        if self._profiler is not None:
+            return self._run_profiled(until, max_events)
         self._running = True
         wall_start = _time.perf_counter()
         queue = self._queue
@@ -475,4 +507,135 @@ class Simulator:
         finally:
             self._events_processed = processed
             self._run_wall_time += _time.perf_counter() - wall_start
+            self._running = False
+
+    def _run_profiled(
+        self, until: Optional[float], max_events: int
+    ) -> None:
+        """:meth:`run` with the attached profiler's attribution inlined.
+
+        A structural twin of the fused loop above — same pops, same
+        probe boundaries, same recurring re-arm, same counter sync
+        points — so event order and counts are bit-identical to the
+        unprofiled loop; the only addition is wall timing around
+        ``record[3]()``.  Kept as a separate loop so the detached fast
+        path above never pays even a per-event branch.
+        """
+        prof = self._profiler
+        exact = prof.mode == "exact"
+        stride = prof.stride
+        skip = prof._skip
+        resolve = prof._resolve
+        perf = _time.perf_counter
+        self._running = True
+        wall_start = perf()
+        queue = self._queue
+        near = queue.near
+        advance = queue.advance
+        push = queue.push
+        pop = heappop
+        hpush = heappush
+        limit = _INF if until is None else until
+        processed = self._events_processed
+        processed_limit = processed + max_events
+        # Profiler counters sync at the same boundaries as
+        # ``_events_processed`` (probes + exit), so a live ``/profile``
+        # scrape mid-run is at most one probe interval stale.
+        synced = processed
+        wall_synced = 0.0
+        try:
+            while True:
+                probe_due = self._next_probe_due
+                if probe_due <= limit:
+                    inner_limit = math.nextafter(probe_due, -_INF)
+                else:
+                    inner_limit = limit
+                blocked_at: Optional[float] = None
+                while near:
+                    record = near[0]
+                    event_time = record[0]
+                    if event_time > inner_limit:
+                        blocked_at = event_time
+                        break
+                    pop(near)
+                    if record[4]:
+                        continue
+                    self._now = event_time
+                    processed += 1
+                    callback = record[3]
+                    if exact:
+                        t0 = perf()
+                        callback()
+                        elapsed = perf() - t0
+                        stats = resolve(callback, record[5])
+                        stats[3] += 1
+                        stats[4] += 1
+                        stats[5] += elapsed
+                    else:
+                        skip -= 1
+                        if skip <= 0:
+                            t0 = perf()
+                            callback()
+                            elapsed = perf() - t0
+                            stats = resolve(callback, record[5])
+                            stats[3] += 1
+                            stats[4] += 1
+                            stats[5] += elapsed
+                            skip = stride
+                        else:
+                            callback()
+                    interval = record[5]
+                    if interval is not None and not record[4]:
+                        next_time = event_time + interval
+                        record[0] = next_time
+                        sequence = self._sequence
+                        self._sequence = sequence + 1
+                        record[2] = sequence
+                        if next_time < queue.near_end:
+                            hpush(near, record)
+                        else:
+                            push(record)
+                    if processed > processed_limit:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; runaway schedule?"
+                        )
+                if blocked_at is None:
+                    if advance(limit) is not None:
+                        continue
+                    if until is not None:
+                        self._events_processed = processed
+                        prof.events_seen += processed - synced
+                        synced = processed
+                        wall_now = perf() - wall_start
+                        prof.run_wall_s += wall_now - wall_synced
+                        wall_synced = wall_now
+                        self._fire_probes_until(until)
+                        if until > self._now:
+                            self._now = until
+                    return
+                if blocked_at > limit:
+                    self._events_processed = processed
+                    prof.events_seen += processed - synced
+                    synced = processed
+                    wall_now = perf() - wall_start
+                    prof.run_wall_s += wall_now - wall_synced
+                    wall_synced = wall_now
+                    self._fire_probes_until(limit)
+                    if until is not None and until > self._now:
+                        self._now = until
+                    return
+                self._events_processed = processed
+                prof.events_seen += processed - synced
+                synced = processed
+                wall_now = perf() - wall_start
+                prof.run_wall_s += wall_now - wall_synced
+                wall_synced = wall_now
+                self._fire_probes_until(blocked_at)
+        finally:
+            self._events_processed = processed
+            elapsed_wall = perf() - wall_start
+            self._run_wall_time += elapsed_wall
+            prof._skip = skip
+            prof.events_seen += processed - synced
+            prof.run_wall_s += elapsed_wall - wall_synced
             self._running = False

@@ -10,7 +10,9 @@ from repro.experiments.des_run import DesRunConfig
 from repro.experiments.sweep import (
     SWEEP_SCHEMA,
     SweepSpec,
+    SweepTelemetry,
     merge_results,
+    render_progress_line,
     render_sweep,
     run_sweep,
     write_sweep_json,
@@ -149,6 +151,211 @@ class TestRunSweep:
     def test_workers_must_be_positive(self):
         with pytest.raises(ConfigurationError):
             run_sweep(_spec(), workers=0)
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        document = run_sweep(
+            _spec(),
+            workers=1,
+            progress=lambda entry, done, total: seen.append(
+                (entry["scenario"], entry["seed"], done, total)
+            ),
+        )
+        assert len(seen) == 2
+        assert {s[:2] for s in seen} == {("Starbucks", 0), ("Starbucks", 1)}
+        assert [s[2] for s in seen] == [1, 2]
+        assert all(s[3] == 2 for s in seen)
+        assert document["totals"]["succeeded"] == 2
+
+    def test_runs_are_free_of_host_clock_data(self):
+        document = run_sweep(_spec(), workers=1)
+        for run in document["runs"]:
+            assert "telemetry" not in run
+        cells = document["telemetry"]["cells"]
+        assert len(cells) == 2
+        for cell in cells:
+            assert cell["wall_s"] > 0
+            assert cell["events_per_second"] > 0
+            assert "worker" in cell
+        assert document["telemetry"]["wall_s"] == pytest.approx(
+            sum(c["wall_s"] for c in cells)
+        )
+        assert "profile" not in document  # profiling was off
+
+    def test_profiled_sweep_merges_a_profile_section(self):
+        from dataclasses import replace
+
+        from repro.obs.profiler import PROFILE_SCHEMA, ProfilerConfig
+
+        spec = _spec(
+            config=replace(
+                _QUICK, profiler=ProfilerConfig(mode="sampling", stride=4)
+            )
+        )
+        document = run_sweep(spec, workers=1)
+        profile = document["profile"]
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert profile["runs_merged"] == 2
+        assert profile["sites"], "merged profile saw no sites"
+        # Per-run profiles ride in telemetry, never in runs.
+        for run in document["runs"]:
+            assert "profile" not in run
+
+    def test_worker_identity_holds_under_profiling(self):
+        from dataclasses import replace
+
+        from repro.obs.profiler import ProfilerConfig
+
+        spec = _spec(
+            config=replace(_QUICK, profiler=ProfilerConfig(mode="sampling"))
+        )
+        serial = run_sweep(spec, workers=1)
+        sharded = run_sweep(spec, workers=2)
+        assert serial["merged_fingerprint"] == sharded["merged_fingerprint"]
+        assert serial["runs"] == sharded["runs"]
+        assert serial["totals"] == sharded["totals"]
+
+
+class TestSweepTelemetry:
+    def test_in_process_sweep_feeds_the_aggregator(self):
+        telemetry = SweepTelemetry()
+        spec = _spec(heartbeat_every_s=0.5)
+        run_sweep(spec, workers=1, telemetry=telemetry)
+        health = telemetry.health()
+        assert health["cells_total"] == 2
+        assert health["cells_started"] == 2
+        assert health["cells_done"] == 2
+        assert health["cells_failed"] == 0
+        assert health["heartbeats"] > 0
+
+    def test_sharded_sweep_streams_records_over_the_pipe(self):
+        telemetry = SweepTelemetry()
+        run_sweep(_spec(), workers=2, telemetry=telemetry)
+        health = telemetry.health()
+        assert health["cells_done"] == 2
+        assert health["workers"] >= 1  # forked worker pids
+
+    def test_collect_into_renders_fleet_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        telemetry = SweepTelemetry(cells_total=2)
+        telemetry.handle(
+            {"type": "cell_start", "worker": 11}
+        )
+        telemetry.handle(
+            {
+                "type": "heartbeat", "worker": 11, "sim_time": 1.5,
+                "events": 300, "wall_s": 0.1,
+            }
+        )
+        telemetry.handle(
+            {
+                "type": "cell_done", "worker": 11, "ok": True,
+                "wall_s": 0.2, "events": 600,
+                "hot_sites": [("AP.tick", "event", 0.05, 400.0)],
+            }
+        )
+        registry = telemetry.collect_into(MetricsRegistry())
+        assert registry.get("repro_sweep_cells_done").value == 1
+        assert registry.get("repro_sweep_cells_failed").value == 0
+        assert registry.get("repro_sweep_cells_running").value == 0
+        assert (
+            registry.get(
+                "repro_sweep_worker_events_per_second", {"worker": "11"}
+            ).value
+            == pytest.approx(3000.0)
+        )
+        assert (
+            registry.get(
+                "repro_sweep_worker_sim_time_seconds", {"worker": "11"}
+            ).value
+            == 1.5
+        )
+        assert (
+            registry.get(
+                "repro_sweep_profile_wall_seconds_total",
+                {"site": "AP.tick", "kind": "event"},
+            ).value
+            == pytest.approx(0.05)
+        )
+
+    def test_failed_cell_counts_as_failed(self):
+        telemetry = SweepTelemetry()
+        telemetry.handle(
+            {"type": "cell_done", "worker": 1, "ok": False,
+             "wall_s": 0.1, "events": 0}
+        )
+        health = telemetry.health()
+        assert health["cells_failed"] == 1
+
+    def test_server_scrapes_live_while_a_sweep_feeds_it(self):
+        import threading
+        import urllib.request
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.server import MetricsServer
+
+        telemetry = SweepTelemetry()
+        registry = MetricsRegistry()
+        scraped: list = []
+        errors: list = []
+        with MetricsServer(
+            registry=registry,
+            collect_fn=lambda: telemetry.collect_into(registry),
+            health_fn=telemetry.health,
+            port=0,
+        ) as server:
+
+            def scraper():
+                try:
+                    for _ in range(8):
+                        with urllib.request.urlopen(
+                            server.url + "/metrics", timeout=5
+                        ) as response:
+                            scraped.append(response.read().decode())
+                        with urllib.request.urlopen(
+                            server.url + "/healthz", timeout=5
+                        ) as response:
+                            scraped.append(response.read().decode())
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=scraper) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            document = run_sweep(
+                _spec(heartbeat_every_s=0.5), workers=1, telemetry=telemetry
+            )
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert document["totals"]["succeeded"] == 2
+        assert telemetry.health()["cells_done"] == 2
+        # At least one late scrape saw the fleet gauges.
+        assert any("repro_sweep_cells_done" in body for body in scraped)
+
+
+class TestProgressLine:
+    def test_ok_line_mentions_rate_and_worker(self):
+        line = render_progress_line(
+            {
+                "scenario": "Starbucks", "seed": 3, "events": 500,
+                "telemetry": {
+                    "worker": 42, "wall_s": 0.5, "events_per_second": 1000.0
+                },
+            },
+            done=2, total=10,
+        )
+        assert line.startswith("[ 2/10] Starbucks seed 3: ok")
+        assert "1,000 ev/s" in line
+        assert "worker 42" in line
+
+    def test_failed_line_carries_the_error(self):
+        line = render_progress_line(
+            {"scenario": "WML", "seed": 1, "error": "boom", "telemetry": {}},
+            done=1, total=1,
+        )
+        assert "FAIL (boom)" in line
 
 
 class TestSweepCli:

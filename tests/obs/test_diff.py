@@ -74,6 +74,30 @@ class TestParsing:
             "engine_events_per_second": 5e5
         }
 
+    def test_profile_document(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps({
+            "schema": "repro-profile/v1",
+            "events_total": 100,
+            "run_wall_s": 0.5,
+            "attributed_wall_s": 0.4,
+            "scheduler_overhead_s": 0.1,
+            "sites": [
+                {"owner": "AP", "method": "tick", "kind": "event",
+                 "events": 100, "wall_s": 0.4},
+            ],
+        }))
+        loaded = load_metrics_file(str(path))
+        assert loaded["repro_profile_events_total"] == 100.0
+        assert loaded["repro_profile_run_wall_s"] == 0.5
+        assert (
+            loaded[
+                'repro_profile_site_wall_seconds_total'
+                '{kind="event",site="AP.tick"}'
+            ]
+            == 0.4
+        )
+
     def test_timeseries_document_uses_final_window(self, tmp_path):
         path = tmp_path / "ts.json"
         path.write_text(json.dumps({

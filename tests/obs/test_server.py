@@ -72,6 +72,28 @@ class TestEndpoints:
         assert doc["status"] == "ok"
         assert doc["sim_time"] == 4.2
 
+    def test_profile_endpoint_serves_the_attached_document(self, registry):
+        document = {
+            "schema": "repro-profile/v1",
+            "events_total": 9,
+            "sites": [{"owner": "AP", "method": "tick", "kind": "event"}],
+        }
+        with MetricsServer(
+            registry, profile_fn=lambda: document, port=0
+        ) as server:
+            status, content_type, body = _get(server.url + "/profile")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        assert json.loads(body) == document
+
+    def test_profile_endpoint_empty_without_profiler(self, registry):
+        with MetricsServer(registry, port=0) as server:
+            status, _, body = _get(server.url + "/profile")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["schema"] == "repro-profile/v1"
+        assert doc["sites"] == []
+
     def test_unknown_path_is_404_with_endpoint_list(self, registry):
         with MetricsServer(registry, port=0) as server:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -79,6 +101,7 @@ class TestEndpoints:
         assert excinfo.value.code == 404
         doc = json.loads(excinfo.value.read())
         assert "/metrics" in doc["endpoints"]
+        assert "/profile" in doc["endpoints"]
 
 
 class TestLifecycle:
