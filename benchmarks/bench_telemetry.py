@@ -17,6 +17,8 @@ from repro.experiments.bench import (
     bench_engine_throughput,
     bench_obs_overhead,
     bench_profiler_overhead,
+    bench_service_flags,
+    bench_service_reports,
     bench_sweep_throughput,
     run_benchmarks,
     write_bench_json,
@@ -100,6 +102,35 @@ def test_profiler_overhead_under_5_percent(record_result):
     )
 
 
+def test_service_report_pipeline_throughput(record_result):
+    result = bench_service_reports(messages=20_000, repeats=2)
+    # The acceptance bar for the live service is 50k reports/s over
+    # loopback; the in-process pipeline (no sockets) must clear it
+    # with room to spare or the socket path never will.
+    assert result.value > 50_000, (
+        f"service pipeline at {result.value:,.0f} msgs/s (floor: 50k)"
+    )
+    record_result(
+        "bench_telemetry_service_reports",
+        f"{result.name}: {result.value:,.0f} {result.unit} "
+        f"({result.detail['shards']:.0f} shards)",
+    )
+
+
+def test_service_flags_throughput(record_result):
+    result = bench_service_flags(iterations=100, repeats=2)
+    # One DTIM pass at 1k clients must stay well under the 102.4 ms
+    # beacon interval; in flags/s terms that is a generous floor.
+    assert result.value > 1_000, (
+        f"service flag pass at {result.value:,.0f} flags/s (floor: 1k)"
+    )
+    record_result(
+        "bench_telemetry_service_flags",
+        f"{result.name}: {result.value:,.0f} {result.unit} "
+        f"({result.detail['flags_per_pass']:.0f} flags/pass)",
+    )
+
+
 def test_bench_json_roundtrips_through_obs_diff(tmp_path):
     document = run_benchmarks(quick=True, repeats=1)
     path_a = tmp_path / "BENCH_a.json"
@@ -115,6 +146,8 @@ def test_bench_json_roundtrips_through_obs_diff(tmp_path):
         "algorithm1_seconds_per_dtim",
         "obs_overhead_fraction",
         "profiler_overhead_fraction",
+        "service_reports_per_second",
+        "service_flags_per_second",
     }
     assert json.loads(path_a.read_text())["schema"] == "repro-bench/v1"
 

@@ -178,7 +178,10 @@ class AccessPoint(Entity):
                 self.counters.port_entries_expired += len(expired)
                 if expired and self.tracer.enabled:
                     self.tracer.event(
-                        "port_entries_expired", sim_time=self.now, aids=expired
+                        "port_entries_expired",
+                        sim_time=self.now,
+                        aids=[entry.aid for entry in expired],
+                        ports=[sorted(entry.ports) for entry in expired],
                     )
             wall_start = _time.perf_counter()
             flags = compute_broadcast_flags(
@@ -346,7 +349,12 @@ class AccessPoint(Entity):
         if record is None:
             return  # not associated: silently dropped, no ACK
         self.counters.port_messages_received += 1
-        self.port_table.update_client(record.aid, message.ports, now=self.now)
+        if message.ports:
+            self.port_table.update_client(record.aid, message.ports, now=self.now)
+        else:
+            # An empty report means "no reportable sockets": clear the
+            # client's entries (the table itself rejects empty sets).
+            self.port_table.remove_client(record.aid)
         ack = Ack(receiver=message.source)
         self.counters.acks_sent += 1
         self._medium.transmit(

@@ -13,6 +13,20 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
+from repro.dot11.pvb import MAX_AID
+from repro.errors import PortTableError
+
+
+@dataclass(frozen=True)
+class ExpiredEntry:
+    """One client aged out of the table: who, what it held, and when it
+    last reported. Both the sim AP and the stand-alone port-service use
+    these to emit per-client expiry events."""
+
+    aid: int
+    ports: FrozenSet[int]
+    updated_at: float
+
 
 @dataclass
 class PortTableStats:
@@ -75,23 +89,41 @@ class ClientUdpPortTable:
         pair, then insert every new one. ``now`` timestamps the report
         so :meth:`expire_older_than` can age out clients that stopped
         refreshing (crashed without disassociating).
+
+        Raises :class:`~repro.errors.PortTableError` for AIDs outside
+        1..2007, out-of-range UDP ports, or an empty port set — a
+        report with nothing to report is a protocol error; clearing a
+        client is :meth:`remove_client`.
         """
+        if not 1 <= aid <= MAX_AID:
+            raise PortTableError(f"AID out of range (1..{MAX_AID}): {aid}")
         new_ports = frozenset(ports)
+        if not new_ports:
+            raise PortTableError(
+                f"zero-length port set for AID {aid}; "
+                "use remove_client() to clear a client"
+            )
         for port in new_ports:
             if not 0 < port <= 0xFFFF:
-                raise ValueError(f"UDP port out of range: {port}")
+                raise PortTableError(f"UDP port out of range: {port}")
         old_ports = self._ports_by_aid.get(aid, frozenset())
         for port in old_ports:
             self._delete(port, aid)
         for port in new_ports:
             self._insert(port, aid)
-        if new_ports:
-            self._ports_by_aid[aid] = new_ports
-            self._updated_at[aid] = now
-        else:
-            self._ports_by_aid.pop(aid, None)
-            self._updated_at.pop(aid, None)
+        self._ports_by_aid[aid] = new_ports
+        self._updated_at[aid] = now
         self.stats.refreshes += 1
+
+    def touch(self, aid: int, now: float) -> bool:
+        """Refresh ``aid``'s report timestamp without changing its ports
+        (a keep-alive). Returns False when the client has no entries —
+        the keep-alive raced an expiry and the client must re-report.
+        """
+        if aid not in self._ports_by_aid:
+            return False
+        self._updated_at[aid] = now
+        return True
 
     def remove_client(self, aid: int) -> None:
         """Drop all state for a disassociated client."""
@@ -99,19 +131,28 @@ class ClientUdpPortTable:
             self._delete(port, aid)
         self._updated_at.pop(aid, None)
 
-    def expire_older_than(self, cutoff: float) -> List[int]:
+    def expire_older_than(self, cutoff: float) -> List[ExpiredEntry]:
         """Age out clients whose last report predates ``cutoff``.
 
         This is the AP-side recovery for crashed clients: without it, a
         client that died without disassociating pins its broadcast flag
         bits forever and every surviving station pays the wake-ups.
-        Returns the expired AIDs (sorted, for deterministic logs).
+        Returns the expired entries — AID, the port set it held, and
+        its last report time — sorted by AID for deterministic logs, so
+        callers can emit per-client expiry events rather than a bare
+        count.
         """
-        expired = sorted(
-            aid for aid, updated in self._updated_at.items() if updated < cutoff
-        )
-        for aid in expired:
-            self.remove_client(aid)
+        expired = [
+            ExpiredEntry(
+                aid=aid,
+                ports=self._ports_by_aid.get(aid, frozenset()),
+                updated_at=updated,
+            )
+            for aid, updated in sorted(self._updated_at.items())
+            if updated < cutoff
+        ]
+        for entry in expired:
+            self.remove_client(entry.aid)
         self.stats.expirations += len(expired)
         return expired
 

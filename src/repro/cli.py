@@ -26,6 +26,11 @@ Commands:
   fleet-telemetry endpoint (``--serve-metrics``).
 * ``bench`` — the telemetry benchmark suite; writes
   ``BENCH_telemetry.json`` for ``obs diff``.
+* ``serve`` — the stand-alone async AP port-service: live Port
+  Messages over UDP into sharded port tables, TTL-wheel expiry,
+  per-DTIM Algorithm 1, ``/metrics`` + ``/healthz``.
+* ``loadgen`` — replay the scenario catalog as thousands of simulated
+  clients against a running ``repro serve``.
 """
 
 from __future__ import annotations
@@ -518,6 +523,73 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        ttl_s=args.ttl,
+        queue_capacity=args.queue_capacity,
+        dtim_interval_s=args.dtim_interval,
+        scenario=args.scenario,
+        feed_seed=args.feed_seed,
+        expiry_sweep_s=args.expiry_sweep,
+        metrics_port=args.serve_metrics,
+        duration_s=args.duration,
+        port_file=args.port_file,
+        final_state_path=args.final_state,
+    )
+    state = run_service(config)
+    totals = state["totals"]
+    print(
+        f"port-service: {state['uptime_s']:.1f} s up, "
+        f"{totals['datagrams_received']} datagrams "
+        f"({totals['reports']} reports, {totals['keepalives']} keep-alives, "
+        f"{totals['garbage']} garbage, {totals['drops']} dropped), "
+        f"{totals['clients']} clients live at shutdown"
+    )
+    print(
+        f"algorithm 1: {totals['algorithm1_runs']} DTIM passes, "
+        f"{totals['flags_computed']} flags; "
+        f"expirations {totals['expirations']}, "
+        f"shard errors {totals['shard_errors']}"
+    )
+    if args.final_state:
+        print(f"wrote final state to {args.final_state}")
+    return 0 if totals["shard_errors"] == 0 else 1
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import (
+        LoadgenConfig,
+        render_report,
+        run_loadgen,
+        write_report_json,
+    )
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        rate=args.rate,
+        duration_s=args.duration,
+        ramp_s=args.ramp,
+        workers=args.workers,
+        scenario=args.scenario,
+        seed=args.seed,
+        keepalive_fraction=args.keepalive_fraction,
+        ack_every=args.ack_every,
+    )
+    report = run_loadgen(config)
+    print(render_report(report))
+    if args.out:
+        write_report_json(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_experiments_headline(args: argparse.Namespace) -> int:
     from repro.experiments import headline
 
@@ -882,6 +954,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the repro-bench/v1 JSON here ('' to skip)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the stand-alone async AP port-service (live UDP Port "
+             "Messages, sharded tables, TTL wheel, per-DTIM Algorithm 1)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="UDP port for Port Messages (0 = ephemeral; see --port-file)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="port-table shards, one owning task each (default 4)",
+    )
+    serve.add_argument(
+        "--ttl", type=float, default=30.0, metavar="SECONDS",
+        help="keep-alive TTL before a client's entries expire (default 30)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=8192, metavar="N",
+        help="per-shard ingress queue bound (drop-oldest beyond it)",
+    )
+    serve.add_argument(
+        "--dtim-interval", type=float, default=0.1024, metavar="SECONDS",
+        help="Algorithm 1 cadence (default 102.4 ms, the paper's DTIM)",
+    )
+    serve.add_argument(
+        "--scenario", default="Classroom",
+        help="scenario trace feeding the per-DTIM broadcast buffer",
+    )
+    serve.add_argument("--feed-seed", type=int, default=None)
+    serve.add_argument(
+        "--expiry-sweep", type=float, default=0.25, metavar="SECONDS",
+        help="TTL-wheel sweep cadence and granularity (default 0.25)",
+    )
+    serve.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve /metrics + /healthz on this port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="auto-stop after this long (default: run until SIGTERM/SIGINT)",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write bound ports as JSON once listening (for scripts/CI)",
+    )
+    serve.add_argument(
+        "--final-state", default=None, metavar="PATH",
+        help="write the repro-service-state/v1 shutdown snapshot here",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="replay the scenario catalog as simulated clients against "
+             "a running 'repro serve'",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument(
+        "--port", type=int, required=True,
+        help="the service's UDP port (see its --port-file)",
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=1000,
+        help="simulated clients; AIDs wrap at 2007 into extra BSSes",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=50_000.0, metavar="MSGS_PER_S",
+        help="target aggregate send rate (default 50k/s)",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+    )
+    loadgen.add_argument(
+        "--ramp", type=float, default=0.0, metavar="SECONDS",
+        help="linear ramp from 10%% to 100%% of --rate over this long",
+    )
+    loadgen.add_argument(
+        "--workers", type=int, default=4,
+        help="sender endpoints, each owning a client slice (default 4)",
+    )
+    loadgen.add_argument(
+        "--scenario", default="Classroom",
+        help="scenario whose service mix shapes per-client open ports",
+    )
+    loadgen.add_argument("--seed", type=int, default=1)
+    loadgen.add_argument(
+        "--keepalive-fraction", type=float, default=0.75, metavar="F",
+        help="fraction of steady-state sends that are keep-alives",
+    )
+    loadgen.add_argument(
+        "--ack-every", type=int, default=64, metavar="N",
+        help="every Nth send per worker requests an ACK (0 = never)",
+    )
+    loadgen.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the repro-loadgen/v1 JSON report here",
+    )
+    loadgen.set_defaults(func=cmd_loadgen)
 
     return parser
 

@@ -37,5 +37,19 @@ class AssociationError(ReproError):
     """A station operation required an association that does not exist."""
 
 
+class PortTableError(ReproError, ValueError):
+    """A port report was rejected at the Client UDP Port Table boundary.
+
+    Raised for out-of-range AIDs (valid range 1..2007, the 802.11
+    association-ID space), out-of-range UDP ports, and zero-length port
+    sets. Subclasses :class:`ValueError` so callers that predate the
+    typed hierarchy keep working.
+    """
+
+
+class ServiceError(ReproError):
+    """The stand-alone AP port-service hit a runtime/configuration problem."""
+
+
 class TraceFormatError(ReproError):
     """A trace file is malformed or has an unsupported version."""

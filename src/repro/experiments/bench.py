@@ -18,6 +18,13 @@ The benchmarks cover the paths every perf PR touches:
   is timed separately in ``detail`` (it serializes every span and is
   deliberately not under the contract). The contract is < 10%;
   ``benchmarks/bench_telemetry.py`` asserts it.
+* ``service_reports_per_second`` — the port-service ingest pipeline
+  (route → bounded queue → strict decode → table apply → TTL-wheel
+  arm) in-process at loadgen scale; the loopback numbers with real
+  sockets live in EXPERIMENTS.md.
+* ``service_flags_per_second`` — Algorithm 1 flag throughput at
+  service scale (1k-client table), the quantity the live
+  ``service_flags_per_second`` gauge tracks.
 * ``profiler_overhead_fraction`` — the cost of the sampling-mode
   attribution profiler over the same seeded run unprofiled. The
   sampled run loop touches one extra countdown per event and resolves
@@ -345,6 +352,150 @@ def bench_profiler_overhead(
     )
 
 
+def bench_service_reports(
+    messages: int = 40_000,
+    clients: int = 1_000,
+    shards: int = 4,
+    repeats: int = 3,
+) -> BenchResult:
+    """Port-service ingest pipeline throughput, messages per second.
+
+    Runs the exact per-datagram path ``repro serve`` executes — route
+    (magic peek + shard hash), bounded-queue offer, strict decode,
+    table apply, TTL-wheel arm — in-process with no sockets, so the
+    number is stable enough to diff in CI. The loopback number
+    (sockets + event loop on top) lives in EXPERIMENTS.md.
+    """
+    from repro.service import wire
+    from repro.service.shard import PortShard
+
+    def _mac(i: int) -> bytes:
+        return bytes([0x02, 0x00]) + i.to_bytes(4, "big")
+
+    # 1:3 report/keep-alive mix, matching the loadgen default.
+    datagrams: List[bytes] = []
+    for i in range(messages):
+        c = i % clients
+        if i % 4 == 0:
+            datagrams.append(
+                wire.encode_port_report(0, c + 1, _mac(c), i, (137, 5353))
+            )
+        else:
+            datagrams.append(wire.encode_keep_alive(0, c + 1, _mac(c), i))
+    addr = ("127.0.0.1", 1)
+
+    def one_run() -> float:
+        shard_list = [
+            PortShard(index=i, queue_capacity=messages) for i in range(shards)
+        ]
+        # Prime: every client reports once so keep-alives land on live
+        # entries, as in a steady-state service.
+        for c in range(clients):
+            report = wire.encode_port_report(0, c + 1, _mac(c), 0, (137,))
+            bss, aid, mac = wire.peek_route(report)
+            shard_list[wire.shard_index(bss, aid, mac, shards)].offer(report, addr)
+        for shard in shard_list:
+            shard.drain(0.0)
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            peek = wire.peek_route
+            shard_of = wire.shard_index
+            for data in datagrams:
+                bss, aid, mac = peek(data)
+                shard_list[shard_of(bss, aid, mac, shards)].offer(data, addr)
+            processed = 0
+            for shard in shard_list:
+                processed += shard.drain(1.0)
+            elapsed = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        assert processed == messages
+        total = sum(
+            s.counters.reports + s.counters.keepalives for s in shard_list
+        )
+        assert total == messages + clients, total
+        return messages / elapsed
+
+    value, samples = _best_of(one_run, repeats, pick_max=True)
+    return BenchResult(
+        name="service_reports_per_second",
+        value=value,
+        unit="messages/s",
+        higher_is_better=True,
+        detail={
+            "messages": float(messages),
+            "clients": float(clients),
+            "shards": float(shards),
+            "samples": float(len(samples)),
+        },
+    )
+
+
+def bench_service_flags(
+    clients: int = 1_000,
+    buffered_frames: int = 12,
+    iterations: int = 200,
+    repeats: int = 3,
+) -> BenchResult:
+    """Per-DTIM flag throughput at service scale, flags per second.
+
+    The service's DTIM loop runs Algorithm 1 over every shard's table
+    against the broadcast-frame batch; this measures that pass on one
+    table at loadgen scale (1k clients, a realistic service mix) and
+    reports flags computed per wall second — the same quantity the
+    live ``service_flags_per_second`` gauge tracks.
+    """
+    table = ClientUdpPortTable()
+    ports_cycle = ((137,), (5353,), (1900, 137), (138,), (17500, 5353))
+    for aid in range(1, clients + 1):
+        table.update_client(aid, set(ports_cycle[aid % len(ports_cycle)]))
+    frames = [
+        DataFrame.broadcast_udp(
+            bssid=_BSSID,
+            source=_SRC,
+            ip_packet=build_broadcast_udp_packet(
+                (137, 5353, 1900, 138, 17500, 67)[i % 6], b"x" * 200
+            ),
+        )
+        for i in range(buffered_frames)
+    ]
+    flags_per_pass = len(compute_broadcast_flags(frames, table))
+    assert flags_per_pass > 0
+
+    def one_run() -> float:
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for _ in range(iterations):
+                compute_broadcast_flags(frames, table)
+            elapsed = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return iterations * flags_per_pass / elapsed
+
+    value, samples = _best_of(one_run, repeats, pick_max=True)
+    return BenchResult(
+        name="service_flags_per_second",
+        value=value,
+        unit="flags/s",
+        higher_is_better=True,
+        detail={
+            "clients": float(clients),
+            "buffered_frames": float(buffered_frames),
+            "flags_per_pass": float(flags_per_pass),
+            "iterations": float(iterations),
+            "samples": float(len(samples)),
+        },
+    )
+
+
 def run_benchmarks(
     quick: bool = False, repeats: Optional[int] = None
 ) -> Dict[str, object]:
@@ -371,6 +522,10 @@ def run_benchmarks(
         bench_algorithm1(iterations=300 if quick else 2_000, repeats=reps),
         bench_obs_overhead(duration_s=4.0 if quick else 8.0, repeats=reps),
         bench_profiler_overhead(duration_s=4.0 if quick else 8.0, repeats=reps),
+        bench_service_reports(
+            messages=10_000 if quick else 40_000, repeats=reps
+        ),
+        bench_service_flags(iterations=50 if quick else 200, repeats=reps),
     ]
     return {
         "schema": BENCH_SCHEMA,

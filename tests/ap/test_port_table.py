@@ -1,6 +1,7 @@
 import pytest
 
-from repro.ap.port_table import ClientUdpPortTable
+from repro.ap.port_table import ClientUdpPortTable, ExpiredEntry
+from repro.errors import PortTableError
 
 
 class TestUpdateSemantics:
@@ -30,12 +31,25 @@ class TestUpdateSemantics:
         assert table.stats.deletes == 3
         assert table.stats.inserts == 5
 
-    def test_empty_update_clears_client(self):
+    def test_empty_update_rejected(self):
         table = ClientUdpPortTable()
         table.update_client(1, {5353})
-        table.update_client(1, set())
+        with pytest.raises(PortTableError):
+            table.update_client(1, set())
+        # The rejected report leaves the stored state untouched.
+        assert table.ports_for_client(1) == frozenset({5353})
+        table.remove_client(1)
         assert table.client_count == 0
         assert table.clients_for_port(5353) == frozenset()
+
+    def test_aid_bounds_rejected(self):
+        table = ClientUdpPortTable()
+        with pytest.raises(PortTableError):
+            table.update_client(0, {5353})
+        with pytest.raises(PortTableError):
+            table.update_client(2008, {5353})
+        table.update_client(2007, {5353})  # the highest legal AID
+        assert table.port_is_open_for(5353, 2007)
 
     def test_remove_client(self):
         table = ClientUdpPortTable()
@@ -57,6 +71,10 @@ class TestUpdateSemantics:
             table.update_client(1, {0})
         with pytest.raises(ValueError):
             table.update_client(1, {65536})
+        # The typed exception is also a ValueError, so pre-existing
+        # callers that caught ValueError still work.
+        with pytest.raises(PortTableError):
+            table.update_client(1, {0})
 
     def test_len_counts_pairs(self):
         table = ClientUdpPortTable()
@@ -71,6 +89,38 @@ class TestUpdateSemantics:
         table.update_client(3, {17500})
         assert table.port_is_open_for(17500, 3)
         assert not table.port_is_open_for(17500, 4)
+
+
+class TestExpiry:
+    def test_expire_returns_full_entries(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {5353, 1900}, now=0.0)
+        table.update_client(2, {137}, now=5.0)
+        expired = table.expire_older_than(4.0)
+        assert expired == [
+            ExpiredEntry(aid=1, ports=frozenset({5353, 1900}), updated_at=0.0)
+        ]
+        assert table.aids() == frozenset({2})
+        assert table.stats.expirations == 1
+
+    def test_expire_sorted_by_aid(self):
+        table = ClientUdpPortTable()
+        for aid in (7, 3, 5):
+            table.update_client(aid, {aid + 1000}, now=0.0)
+        expired = table.expire_older_than(1.0)
+        assert [entry.aid for entry in expired] == [3, 5, 7]
+
+    def test_touch_refreshes_timestamp(self):
+        table = ClientUdpPortTable()
+        table.update_client(1, {5353}, now=0.0)
+        assert table.touch(1, now=10.0)
+        assert table.expire_older_than(5.0) == []
+        assert table.updated_at(1) == 10.0
+
+    def test_touch_unknown_client_is_refused(self):
+        table = ClientUdpPortTable()
+        assert not table.touch(9, now=1.0)
+        assert table.updated_at(9) is None
 
 
 class TestStats:

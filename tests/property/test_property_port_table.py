@@ -15,7 +15,9 @@ from hypothesis import strategies as st
 from repro.ap.port_table import ClientUdpPortTable
 
 AIDS = st.integers(min_value=1, max_value=8)
-PORTS = st.sets(st.integers(min_value=1, max_value=30), max_size=6)
+# The table rejects zero-length port sets (a typed PortTableError), so
+# updates always carry at least one port; removal is its own operation.
+PORTS = st.sets(st.integers(min_value=1, max_value=30), min_size=1, max_size=6)
 
 operations = st.lists(
     st.one_of(

@@ -1,0 +1,1 @@
+"""Port-service tests."""
