@@ -41,9 +41,15 @@ def frame_udp_port(frame: DataFrame) -> Optional[int]:
     """Destination UDP port of a buffered frame, or ``None``.
 
     This is the byte-parsing path a real AP would run: LLC/SNAP → IPv4
-    → UDP. Malformed packets are treated as unclassifiable.
+    → UDP. Malformed packets are treated as unclassifiable.  The parse
+    is memoized on the frame (:meth:`DataFrame.udp_dst_port`), so the
+    AP and every receiving radio share one decode per frame object.
     """
     try:
-        return extract_udp_dst_port_from_dot11_body(frame.llc_payload)
-    except FrameDecodeError:
-        return None
+        return frame.udp_dst_port()
+    except AttributeError:
+        # A duck-typed test double without the memoized accessor.
+        try:
+            return extract_udp_dst_port_from_dot11_body(frame.llc_payload)
+        except FrameDecodeError:
+            return None

@@ -255,6 +255,7 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         port_refresh_interval_s=args.port_refresh,
         telemetry=telemetry,
         queue_backend=args.queue,
+        delivery_backend=args.delivery,
     )
     prepared = prepare_trace_des(trace, config, tracer=tracer)
     if prepared.metrics_server is not None:
@@ -361,6 +362,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         check_invariants=args.check_invariants,
         recovery=not args.no_recovery,
         queue_backend=args.queue,
+        delivery_backend=args.delivery,
         profiler=profiler,
     )
     spec = SweepSpec(
@@ -440,6 +442,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         dtim_period=args.dtim_period,
         queue_backend=args.queue,
+        delivery_backend=args.delivery,
         profiler=ProfilerConfig(mode=args.mode, stride=args.stride),
     )
     prepared = prepare_trace_des(trace, config)
@@ -684,6 +687,11 @@ def build_parser() -> argparse.ArgumentParser:
              "backends are observably identical)",
     )
     sim_run.add_argument(
+        "--delivery", choices=["reference", "vectorized"], default=None,
+        help="delivery backend (default: the medium's default, "
+             "vectorized; the backends are bit-identical)",
+    )
+    sim_run.add_argument(
         "--fault-plan", default=None, metavar="SPEC",
         help="seeded fault plan: a JSON file path or an inline spec like "
              "'loss=0.1,beacon=0.02,seed=7,crash=0@5:15' "
@@ -790,6 +798,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-queue backend for every run",
     )
     sweep.add_argument(
+        "--delivery", choices=["reference", "vectorized"], default=None,
+        help="delivery backend for every run (default: vectorized)",
+    )
+    sweep.add_argument(
         "--fault-plan", default=None, metavar="SPEC",
         help="fault-plan spec applied to every run with its seed "
              "replaced by the run's trace seed",
@@ -870,6 +882,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--queue", choices=["heap", "calendar"], default=None,
         help="event-queue backend",
+    )
+    profile.add_argument(
+        "--delivery", choices=["reference", "vectorized"], default=None,
+        help="delivery backend (default: vectorized)",
     )
     profile.add_argument(
         "--top", type=int, default=15, metavar="N",

@@ -49,6 +49,31 @@ class DataFrame:
     def is_broadcast(self) -> bool:
         return self.destination.is_broadcast
 
+    def udp_dst_port(self) -> Optional[int]:
+        """Destination UDP port (LLC/SNAP → IPv4 → UDP), or ``None``
+        for non-UDP/unparseable payloads.
+
+        Parsed once and memoized on the instance: the AP's Algorithm 1,
+        every receiving client's usefulness check, and the vectorized
+        delivery accrual all ask this same question of the same frame
+        object, and the answer is a pure function of the (immutable)
+        payload bytes.
+        """
+        try:
+            return self._udp_dst_port  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        from repro.net.packet import extract_udp_dst_port_from_dot11_body
+
+        try:
+            port: Optional[int] = extract_udp_dst_port_from_dot11_body(
+                self.llc_payload
+            )
+        except FrameDecodeError:
+            port = None
+        object.__setattr__(self, "_udp_dst_port", port)
+        return port
+
     def to_bytes(self) -> bytes:
         header = (
             self.frame_control.to_bytes()

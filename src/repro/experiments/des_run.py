@@ -29,7 +29,7 @@ from repro.energy.profile import DeviceEnergyProfile, NEXUS_ONE
 from repro.errors import ConfigurationError
 from repro.faults import FaultInjector, FaultPlan
 from repro.net.packet import build_broadcast_udp_packet
-from repro.obs.collectors import collect_all, collect_profiler
+from repro.obs.collectors import collect_all, collect_delivery, collect_profiler
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import AttributionProfiler, ProfilerConfig
 from repro.obs.server import MetricsServer
@@ -38,7 +38,7 @@ from repro.obs.tracing import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.eventq import QUEUE_KINDS
 from repro.sim.invariants import InvariantSuite
-from repro.sim.medium import Medium
+from repro.sim.medium import DELIVERY_KINDS, Medium
 from repro.station.client import Client, ClientConfig, ClientPolicy
 from repro.traces.trace import BroadcastTrace
 from repro.traces.usefulness import ports_for_target_fraction
@@ -146,12 +146,25 @@ class DesRunConfig:
     #: fingerprint bit-identical — the profiler observes the host
     #: clock, never the simulation.
     profiler: Optional[ProfilerConfig] = None
+    #: Delivery backend for the medium: ``"reference"``,
+    #: ``"vectorized"``, or ``None`` for the medium default
+    #: (vectorized). Bit-identical pair (the delivery-equivalence suite
+    #: pins it), so — like ``queue_backend`` — a pure throughput knob.
+    delivery_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.queue_backend is not None and self.queue_backend not in QUEUE_KINDS:
             raise ConfigurationError(
                 f"unknown queue backend {self.queue_backend!r}; "
                 f"expected one of {QUEUE_KINDS}"
+            )
+        if (
+            self.delivery_backend is not None
+            and self.delivery_backend not in DELIVERY_KINDS
+        ):
+            raise ConfigurationError(
+                f"unknown delivery backend {self.delivery_backend!r}; "
+                f"expected one of {DELIVERY_KINDS}"
             )
         if self.client_count < 1:
             raise ConfigurationError("need at least one client")
@@ -420,6 +433,11 @@ class PreparedDesRun:
                 # Live scrapes only: end-of-run collection (and thus
                 # determinism fingerprints) never includes these.
                 collect_profiler(self.profiler, registry)
+            # Live scrapes only, for the same reason. Reads the slot
+            # columns without settling them (scrape threads must not
+            # mutate accrual state), so — like ``_events_processed`` —
+            # a live value is at most one probe window stale.
+            collect_delivery(self.medium, registry)
             return registry
 
     def close(self) -> None:
@@ -488,7 +506,11 @@ def prepare_trace_des(
     injector = FaultInjector(active_plan) if active_plan is not None else None
 
     simulator = Simulator(queue=config.queue_backend)
-    medium = Medium(simulator, fault_injector=injector)
+    medium = Medium(
+        simulator,
+        fault_injector=injector,
+        delivery_backend=config.delivery_backend,
+    )
     ap = AccessPoint(
         AP_MAC,
         medium,

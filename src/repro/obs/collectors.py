@@ -104,6 +104,57 @@ def collect_profiler(
     return registry
 
 
+def collect_delivery(
+    medium, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Delivery-backend internals: slot columns and accrual batching.
+
+    Like :func:`collect_profiler`, these series describe the *machinery*
+    (which backend, how often the deferred accrual settled, fan-out
+    cache churn) rather than the protocol, so they are only ever pulled
+    into live-scrape registries — never the end-of-run collection that
+    determinism fingerprints hash.  Reads state without settling it, so
+    it is safe from scrape threads.
+    """
+    registry = registry if registry is not None else default_registry()
+    registry.gauge(
+        "repro_delivery_backend_info",
+        "Active delivery backend (constant 1, labelled)",
+        labels={"backend": medium.delivery_kind},
+    ).set(1.0)
+    radios = getattr(medium, "radio_array", None)
+    if radios is None:
+        return registry
+    registry.gauge(
+        "repro_delivery_slots", "Client radio slots currently bound"
+    ).set(float(len(radios)))
+    registry.gauge(
+        "repro_delivery_listeners",
+        "Slots with the radio up (listening or conservative receive-all)",
+    ).set(float(radios.listeners))
+    registry.gauge(
+        "repro_delivery_subscribed_ports",
+        "Distinct UDP ports with at least one subscribed slot",
+    ).set(float(len(radios.port_masks)))
+    registry.counter(
+        "repro_delivery_broadcast_frames_total",
+        "Broadcast frames credited through the O(1) accrual path",
+    ).set_total(float(radios.frames_total))
+    registry.counter(
+        "repro_delivery_settles_total",
+        "Per-slot deferred-accrual settlements",
+    ).set_total(float(radios.settles))
+    registry.counter(
+        "repro_delivery_flushes_total",
+        "Whole-array accrual flushes at sync boundaries",
+    ).set_total(float(radios.flushes))
+    registry.counter(
+        "repro_delivery_fanout_rebuilds_total",
+        "Broadcast fan-out cache recomputations",
+    ).set_total(float(medium.fanout_rebuilds))
+    return registry
+
+
 def collect_medium(medium, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Channel accounting: airtime by frame kind, queueing, drops."""
     registry = registry if registry is not None else default_registry()

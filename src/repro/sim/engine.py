@@ -133,6 +133,7 @@ class Simulator:
         self._probes_fired = 0
         self._next_probe_due = _INF
         self._profiler: Optional[Any] = None
+        self._sync_hooks: List[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -354,6 +355,19 @@ class Simulator:
             self._next_probe_due = first
         return probe
 
+    def add_sync_hook(self, hook: Callable[[], None]) -> None:
+        """Register a flush to run at the ``_events_processed`` sync points.
+
+        Hooks fire immediately before any probe batch (so probes — and
+        everything downstream of them: timeseries windows, live
+        telemetry samples — observe fully settled state), at the end of
+        every :meth:`step`, and when :meth:`run` returns.  Subsystems
+        that defer per-event work into batched updates (the vectorized
+        delivery backend's energy accrual) register here so the deferral
+        is invisible at every externally observable boundary.
+        """
+        self._sync_hooks.append(hook)
+
     def _fire_probes_until(self, time_limit: float) -> None:
         """Fire every live probe due at or before ``time_limit``.
 
@@ -361,6 +375,8 @@ class Simulator:
         breaks ties), each seeing the clock at its own due time.  Also
         recomputes the cached next-due time the run loop plans around.
         """
+        for hook in self._sync_hooks:
+            hook()
         probes = self._probes
         if probes:
             while True:
@@ -419,6 +435,8 @@ class Simulator:
             self._sequence = sequence + 1
             record[2] = sequence
             self._push(record)
+        for hook in self._sync_hooks:
+            hook()
         return True
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
@@ -506,6 +524,8 @@ class Simulator:
                 self._fire_probes_until(blocked_at)
         finally:
             self._events_processed = processed
+            for hook in self._sync_hooks:
+                hook()
             self._run_wall_time += _time.perf_counter() - wall_start
             self._running = False
 
@@ -633,6 +653,8 @@ class Simulator:
                 self._fire_probes_until(blocked_at)
         finally:
             self._events_processed = processed
+            for hook in self._sync_hooks:
+                hook()
             elapsed_wall = perf() - wall_start
             self._run_wall_time += elapsed_wall
             prof._skip = skip

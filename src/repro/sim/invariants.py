@@ -121,6 +121,10 @@ class InvariantSuite:
 
     def violations(self) -> List[Violation]:
         """Run every check now; returns violations instead of raising."""
+        # Mid-run checks fire as events, between the engine's counter
+        # sync points: settle any deferred delivery accrual first so
+        # per-client counters are exact at read time.
+        self._medium.sync_accounting()
         now = self._simulator.now
         found: List[Violation] = []
         found.extend(self._check_useful_frame_misses(now))

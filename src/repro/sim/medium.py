@@ -11,6 +11,7 @@ analytically by :mod:`repro.analysis.bianchi`, as in the paper).
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple
@@ -19,10 +20,28 @@ from collections import deque
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.entity import Entity
+from repro.sim.radio_array import (
+    RadioArray,
+    ROUTE_DATA,
+    ROUTE_SINGLE_DEST,
+    ROUTE_SINGLE_RECEIVER,
+    ROUTE_UPLINK,
+    route_for,
+)
 from repro.units import us
 
 if TYPE_CHECKING:
     from repro.faults.injector import FaultInjector
+
+#: Delivery-backend seam, mirroring the Heap/Calendar split in
+#: :mod:`repro.sim.eventq`: ``reference`` hands every frame to every
+#: attached entity; ``vectorized`` routes through the struct-of-arrays
+#: fast lane in :mod:`repro.sim.radio_array`.  The two are bit-identical
+#: (fingerprints, .prom snapshots, trace sequences) — pinned by
+#: ``tests/property/test_delivery_equivalence.py`` — so the choice is
+#: purely a throughput knob.
+DELIVERY_KINDS = ("reference", "vectorized")
+DEFAULT_DELIVERY_KIND = "vectorized"
 
 #: 802.11b long-preamble PHY overhead: 192 bits at 1 Mb/s = 192 µs.
 PHY_OVERHEAD_S = us(192)
@@ -68,6 +87,7 @@ class Medium:
         loss_probability: float = 0.0,
         loss_seed: int = 0,
         fault_injector: Optional["FaultInjector"] = None,
+        delivery_backend: Optional[str] = None,
     ) -> None:
         """``loss_probability`` drops each non-beacon frame independently
         with that probability (failure injection for retransmission
@@ -79,10 +99,20 @@ class Medium:
         a seeded :class:`~repro.faults.plan.FaultPlan` with per-kind
         loss (including an explicit beacon-loss knob), per-kind drop
         accounting, and bounded delivery-clock jitter.
+
+        ``delivery_backend`` selects ``"vectorized"`` (default) or
+        ``"reference"`` — see :data:`DELIVERY_KINDS`.
         """
         if not 0.0 <= loss_probability < 1.0:
             raise SimulationError(
                 f"loss probability must be in [0, 1): {loss_probability}"
+            )
+        kind = (
+            DEFAULT_DELIVERY_KIND if delivery_backend is None else delivery_backend
+        )
+        if kind not in DELIVERY_KINDS:
+            raise SimulationError(
+                f"unknown delivery backend {kind!r}; expected one of {DELIVERY_KINDS}"
             )
         self._simulator = simulator
         self._entities: List[Entity] = []
@@ -111,6 +141,44 @@ class Medium:
         self._queue_wait_accum = 0.0
         self._frames_queued = 0
         self._delivery_observers: List[Callable[[Transmission, bool], None]] = []
+        self._delivery_kind = kind
+        #: Slot-indexed radio columns (vectorized backend only).
+        self._radios: Optional[RadioArray] = None
+        #: Entities without a radio slot (the AP, test doubles), in
+        #: attach order, plus their indices into ``_targets`` — the
+        #: recipients of client-originated and unaddressed frames.
+        self._nonvector: List[Entity] = []
+        self._nonvector_idx: List[int] = []
+        self._index_of: Dict[Entity, int] = {}
+        self._order_epoch = 0
+        self._order_stamp = -1
+        #: Cached broadcast fan-out (nonvector + currently listening
+        #: clients, attach order), keyed on (attach churn, listen-mask
+        #: churn) so stable stretches between DTIM bursts pay nothing.
+        self._fanout: Tuple[Entity, ...] = ()
+        self._fanout_stamp: Tuple[int, int] = (-1, -1)
+        self._fanout_rebuilds = 0
+        if kind == "vectorized":
+            self._radios = RadioArray()
+            self._drain = self._drain_deliveries_vector
+            simulator.add_sync_hook(self.sync_accounting)
+        else:
+            self._drain = self._drain_deliveries
+
+    @property
+    def delivery_kind(self) -> str:
+        """Which delivery backend is active (``reference``/``vectorized``)."""
+        return self._delivery_kind
+
+    @property
+    def radio_array(self) -> Optional[RadioArray]:
+        """The slot-state columns, or ``None`` on the reference backend."""
+        return self._radios
+
+    @property
+    def fanout_rebuilds(self) -> int:
+        """Times the cached broadcast fan-out list was recomputed."""
+        return self._fanout_rebuilds
 
     @property
     def transmissions_completed(self) -> int:
@@ -167,6 +235,11 @@ class Medium:
             raise SimulationError(f"{entity!r} already attached to medium")
         self._entities.append(entity)
         self._targets = tuple(self._entities)
+        self._order_epoch += 1
+        radios = self._radios
+        if radios is not None and hasattr(entity, "radio_broadcast_state"):
+            slot = radios.allocate(entity)
+            entity.bind_radio(radios, slot)
         if not entity.is_attached:
             entity.attach(self._simulator)
 
@@ -175,12 +248,38 @@ class Medium:
 
         The entity stays on the simulator clock; only frame delivery
         stops. Frames already in flight to it are lost.
+
+        Safe mid-drain: a detach from inside a delivery callback (a
+        crash handler firing at the same tick as a queued frame batch)
+        settles and frees the client's slot immediately, while the
+        in-flight ``(deliver_at, sequence, transmission)`` snapshots are
+        untouched — the remaining same-tick frames recompute their
+        recipient sets and simply skip the departed radio, exactly as
+        the reference path's per-frame ``_targets`` read does.
         """
         try:
             self._entities.remove(entity)
         except ValueError:
             raise SimulationError(f"{entity!r} is not attached to medium")
         self._targets = tuple(self._entities)
+        self._order_epoch += 1
+        radios = self._radios
+        if radios is not None and entity in radios.slot_of:
+            radios.release(entity)
+            entity.unbind_radio()
+
+    def sync_accounting(self) -> None:
+        """Settle deferred per-client accrual into client counters.
+
+        Registered as an engine sync hook (probe boundaries, run exit,
+        every step) on the vectorized backend; a no-op on the reference
+        backend, whose accrual is already per-event.  Anything reading
+        client counters *outside* those boundaries — the invariant
+        suite's mid-run checks, tests poking counters between manual
+        drains — calls this first.
+        """
+        if self._radios is not None:
+            self._radios.flush()
 
     def is_attached(self, entity: Entity) -> bool:
         return entity in self._entities
@@ -244,7 +343,7 @@ class Medium:
         sequence = self._inflight_sequence
         self._inflight_sequence = sequence + 1
         heappush(self._inflight, (deliver_at, sequence, transmission, on_complete))
-        self._simulator.post_at(deliver_at, self._drain_deliveries)
+        self._simulator.post_at(deliver_at, self._drain)
 
     def _drain_deliveries(self) -> None:
         """Deliver every in-flight frame due at or before the clock.
@@ -286,6 +385,157 @@ class Medium:
             return  # frame corrupted on air: nobody decodes it
         if on_complete is not None:
             on_complete(transmission)
+
+    # -- vectorized fast lane ---------------------------------------------
+
+    def _drain_deliveries_vector(self) -> None:
+        """Vectorized twin of :meth:`_drain_deliveries`.
+
+        Identical pop order and per-frame processing; only the recipient
+        computation inside :meth:`_deliver_vector` differs.  A distinct
+        bound method so the attribution profiler reports the two lanes
+        as separate sites.
+        """
+        now = self._simulator.now
+        inflight = self._inflight
+        while inflight and inflight[0][0] <= now:
+            _, _, transmission, on_complete = heappop(inflight)
+            self._deliver_vector(transmission, on_complete)
+
+    def _deliver_vector(
+        self,
+        transmission: Transmission,
+        on_complete: Optional[Callable[[Transmission], None]],
+    ) -> None:
+        """Deliver one frame through the slot-routed fast lane.
+
+        Per-frame-class routing; every route is observably identical to
+        the reference everyone-receives loop, skipping a client only
+        when its ``on_receive`` is provably a no-op for the frame kind
+        (see :mod:`repro.sim.radio_array` route notes).  Recipient sets
+        are recomputed per frame against live ``_targets``/mask state,
+        so same-tick attach/detach between two frames behaves exactly
+        like the reference per-frame ``_targets`` read.
+        """
+        frame = transmission.frame
+        sender = transmission.sender
+        self._transmissions_completed += 1
+        dropped = False
+        if self._fault_injector is not None:
+            dropped = self._fault_injector.should_drop(frame)
+        elif self._loss_probability > 0.0 and not _is_beacon(frame):
+            dropped = self._loss_rng.random() < self._loss_probability
+        if dropped:
+            self._frames_dropped += 1
+        else:
+            radios = self._radios
+            route = route_for(type(frame))
+            if route == ROUTE_DATA and frame.is_broadcast:
+                if sender in radios.slot_of:
+                    # Station-originated broadcast: the sender's own
+                    # slot must not accrue, so skip the O(1) shortcut.
+                    for entity in self._targets:
+                        if entity is not sender:
+                            entity.on_receive(transmission)
+                else:
+                    # Credit every dozing slot in O(1) *before* the
+                    # listener callbacks: a listener dropping to doze
+                    # while handling this frame re-baselines against
+                    # the post-credit totals and is not double-counted.
+                    radios.account_broadcast(frame)
+                    for entity in self._broadcast_fanout():
+                        if entity is not sender:
+                            entity.on_receive(transmission)
+            elif route == ROUTE_UPLINK:
+                if self._order_stamp != self._order_epoch:
+                    self._refresh_order()
+                for entity in self._nonvector:
+                    if entity is not sender:
+                        entity.on_receive(transmission)
+            elif route == ROUTE_DATA:
+                self._deliver_addressed(transmission, sender, frame.destination)
+            elif route == ROUTE_SINGLE_RECEIVER:
+                self._deliver_addressed(transmission, sender, frame.receiver)
+            elif route == ROUTE_SINGLE_DEST:
+                self._deliver_addressed(transmission, sender, frame.destination)
+            else:  # beacons + unknown frame classes: the reference loop
+                for entity in self._targets:
+                    if entity is not sender:
+                        entity.on_receive(transmission)
+        for observer in self._delivery_observers:
+            observer(transmission, dropped)
+        if dropped:
+            return  # frame corrupted on air: nobody decodes it
+        if on_complete is not None:
+            on_complete(transmission)
+
+    def _deliver_addressed(
+        self, transmission: Transmission, sender: Entity, mac: Any
+    ) -> None:
+        """Deliver a singly-addressed frame (Ack, unicast, response).
+
+        Recipients: every nonvector entity (they see all traffic, like
+        the reference) plus the one addressed client — merged at its
+        attach position so callback order matches the reference loop.
+        The addressed client goes through :meth:`Entity.deliver_many`,
+        the batched dispatch point of the fast lane.
+        """
+        if self._order_stamp != self._order_epoch:
+            self._refresh_order()
+        target = self._radios.by_mac.get(mac)
+        nonvector = self._nonvector
+        if target is None:
+            for entity in nonvector:
+                if entity is not sender:
+                    entity.on_receive(transmission)
+            return
+        pos = bisect_left(self._nonvector_idx, self._index_of[target])
+        for entity in nonvector[:pos]:
+            if entity is not sender:
+                entity.on_receive(transmission)
+        if target is not sender:
+            target.deliver_many((transmission,))
+        for entity in nonvector[pos:]:
+            if entity is not sender:
+                entity.on_receive(transmission)
+
+    def _refresh_order(self) -> None:
+        """Rebuild attach-order indices after attach/detach churn."""
+        slot_of = self._radios.slot_of
+        nonvector: List[Entity] = []
+        nonvector_idx: List[int] = []
+        index_of: Dict[Entity, int] = {}
+        for idx, entity in enumerate(self._targets):
+            index_of[entity] = idx
+            if entity not in slot_of:
+                nonvector.append(entity)
+                nonvector_idx.append(idx)
+        self._nonvector = nonvector
+        self._nonvector_idx = nonvector_idx
+        self._index_of = index_of
+        self._order_stamp = self._order_epoch
+
+    def _broadcast_fanout(self) -> Tuple[Entity, ...]:
+        """Nonvector entities + listening clients, in attach order.
+
+        Cached across frames; any listen-bit flip or attach/detach
+        invalidates the stamp and the next broadcast frame rebuilds.
+        Between DTIM bursts the mask is stable and storms of broadcast
+        frames reuse the tuple untouched.
+        """
+        radios = self._radios
+        stamp = (self._order_epoch, radios.fanout_epoch)
+        if stamp != self._fanout_stamp:
+            slot_of = radios.slot_of
+            listen = radios.listen_mask
+            self._fanout = tuple(
+                entity
+                for entity in self._targets
+                if entity not in slot_of or (listen >> slot_of[entity]) & 1
+            )
+            self._fanout_stamp = stamp
+            self._fanout_rebuilds += 1
+        return self._fanout
 
 
 def _is_beacon(frame: Any) -> bool:

@@ -174,6 +174,10 @@ class Client(Entity):
         #: Unknown-state fallback: when True the radio behaves like
         #: receive-all until the next DTIM resynchronizes it.
         self._conservative_listen = False
+        #: Slot-state mirror for the vectorized delivery backend; None
+        #: under the reference backend (every hook is one None check).
+        self._radio = None
+        self._radio_slot = -1
         self._beacon_watchdog: Optional[EventHandle] = None
         self._learned_beacon_interval: Optional[float] = None
         self._port_refresh: Optional[RecurringHandle] = None
@@ -213,6 +217,39 @@ class Client(Entity):
         """Record the AID granted at association time."""
         self.aid = aid
         self.last_aid = aid
+        self._notify_radio()
+
+    # -- vectorized-delivery radio binding -------------------------------
+
+    def bind_radio(self, radios, slot: int) -> None:
+        """Mirror this radio into the medium's slot columns.
+
+        Called by the vectorized medium on attach; every subsequent
+        mutation of doze/receive-all state, AID, or the socket table
+        refreshes the mirror via :meth:`_notify_radio`.
+        """
+        self._radio = radios
+        self._radio_slot = slot
+
+    def unbind_radio(self) -> None:
+        self._radio = None
+        self._radio_slot = -1
+
+    def radio_broadcast_state(self):
+        """(receiving-broadcasts, aid, subscribed broadcast ports).
+
+        Exactly the state the doze path of :meth:`_handle_broadcast`
+        reads — what the deferred accrual needs to stand in for it.
+        """
+        return (
+            self._radio_listening or self._conservative_listen,
+            self.aid,
+            self.sockets.reportable_ports(),
+        )
+
+    def _notify_radio(self) -> None:
+        if self._radio is not None:
+            self._radio.refresh(self._radio_slot)
 
     def scan(
         self,
@@ -264,6 +301,7 @@ class Client(Entity):
             self, frame, frame.to_bytes(), self.config.management_rate_bps
         )
         self.aid = None
+        self._notify_radio()
 
     def request_association(self, ssid: str = "hide-net") -> None:
         """Run the association handshake over the air.
@@ -309,6 +347,7 @@ class Client(Entity):
         if response.success:
             self.aid = response.aid
             self.last_aid = response.aid
+            self._notify_radio()
             self.counters.associations_completed += 1
             if self._rejoining:
                 # A rebooted device re-runs the suspend path (sending a
@@ -318,9 +357,11 @@ class Client(Entity):
 
     def open_port(self, port: int, inaddr_any: bool = True, owner: str = "app") -> None:
         self.sockets.open_port(port, inaddr_any=inaddr_any, owner=owner)
+        self._notify_radio()
 
     def close_port(self, port: int) -> None:
         self.sockets.close_port(port)
+        self._notify_radio()
 
     # -- suspend entry (paper Figure 2, steps 1-3) -----------------------
 
@@ -445,6 +486,7 @@ class Client(Entity):
         self.counters.beacon_misses_detected += 1
         if not self._conservative_listen:
             self._conservative_listen = True
+            self._notify_radio()
             self.counters.conservative_fallbacks += 1
             if self.tracer.enabled:
                 self.tracer.event(
@@ -504,6 +546,7 @@ class Client(Entity):
         self._rejoining = False
         self._scan_results = None
         self.aid = None
+        self._notify_radio()  # no-op: detach above released the slot
         if self.wakelock is not None:
             self.wakelock.drop()
         if self.power is not None:
@@ -580,10 +623,13 @@ class Client(Entity):
             self._arm_beacon_watchdog()
         if beacon.tim.is_dtim:
             self.counters.dtims_received += 1
+            listening = self._radio_listening or self._conservative_listen
             self._radio_listening = self._should_listen(beacon)
             # A decoded DTIM says exactly what the coming burst holds,
             # so any unknown-state fallback ends here.
             self._conservative_listen = False
+            if self._radio_listening != listening:
+                self._notify_radio()
         if self.aid is not None and beacon.tim.indicates_unicast_for(self.aid):
             self._wake_for_frame()
             assert self.power is not None
@@ -619,6 +665,7 @@ class Client(Entity):
         self.counters.broadcast_frames_received += 1
         if not frame.more_data:
             self._radio_listening = False
+            self._notify_radio()
         port = frame_udp_port(frame)
         useful = port is not None and self.sockets.delivers_broadcast_on(port)
         if useful:

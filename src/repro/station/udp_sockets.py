@@ -10,7 +10,7 @@ reporting it would only inflate the message.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
 from repro.errors import ConfigurationError
 
@@ -29,6 +29,10 @@ class UdpSocketTable:
         self._sockets: Dict[int, _SocketEntry] = {}
         self.opens = 0
         self.closes = 0
+        #: Memoized :meth:`reportable_ports`; the table mutates rarely
+        #: (app lifecycle) but is read on every port report and every
+        #: radio-state refresh, so cache the frozenset between changes.
+        self._reportable: Optional[FrozenSet[int]] = None
 
     def __len__(self) -> int:
         return len(self._sockets)
@@ -40,12 +44,14 @@ class UdpSocketTable:
             raise ConfigurationError(f"UDP port {port} already open")
         self._sockets[port] = _SocketEntry(port, inaddr_any, owner)
         self.opens += 1
+        self._reportable = None
 
     def close_port(self, port: int) -> None:
         if port not in self._sockets:
             raise ConfigurationError(f"UDP port {port} is not open")
         del self._sockets[port]
         self.closes += 1
+        self._reportable = None
 
     def is_open(self, port: int) -> bool:
         return port in self._sockets
@@ -56,9 +62,12 @@ class UdpSocketTable:
 
     def reportable_ports(self) -> FrozenSet[int]:
         """Ports to include in a UDP Port Message: INADDR_ANY-bound only."""
-        return frozenset(
-            port for port, entry in self._sockets.items() if entry.inaddr_any
-        )
+        reportable = self._reportable
+        if reportable is None:
+            reportable = self._reportable = frozenset(
+                port for port, entry in self._sockets.items() if entry.inaddr_any
+            )
+        return reportable
 
     def delivers_broadcast_on(self, port: int) -> bool:
         """Would an inbound broadcast datagram on ``port`` reach an app?"""

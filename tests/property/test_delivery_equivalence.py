@@ -1,0 +1,228 @@
+"""Bit-identity of the vectorized delivery backend against the reference.
+
+The struct-of-arrays fast lane (``repro.sim.radio_array`` +
+``Medium._drain_deliveries_vector``) is the default delivery backend,
+so this suite is the contract that lets it be: for every scenario,
+seed, event-queue backend, fault plan, and observer combination we can
+afford to run, the two backends must agree on the deterministic
+fingerprint, every per-client counter, the Prometheus export, the
+windowed timeseries, and the full JSONL trace-event sequence. Energy
+accrual is *deferred* in the fast lane (settled at probe boundaries
+via the engine's sync hooks), which is exactly the kind of change that
+silently skews counters if a settle point is missed — hence the
+property-based cross product rather than a single golden run.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments.des_run import (
+    DesRunConfig,
+    ProfilerConfig,
+    TelemetryConfig,
+    run_trace_des,
+)
+from repro.faults import FaultPlan
+from repro.obs import format_for_path, write_metrics
+from repro.obs.diff import diff_files
+from repro.obs.tracing import JsonlTracer
+from repro.traces import generate_trace
+
+_PLAN = FaultPlan.parse("loss=0.08,beacon=0.01,seed=11,crash=0@2:5")
+
+#: Wall-clock fields in trace records measure the host, not the
+#: protocol; everything else in a record is simulation-determined.
+_WALL_FIELDS = ("wall_time", "wall_duration_s")
+
+
+def _run(
+    delivery_backend,
+    scenario="Starbucks",
+    seed=7,
+    queue_backend=None,
+    fault_plan=None,
+    telemetry=False,
+    profiler=False,
+    tracer=None,
+):
+    trace = generate_trace(scenario, seed=seed)
+    config = DesRunConfig(
+        client_count=3,
+        duration_s=6.0,
+        fault_plan=fault_plan,
+        check_invariants=True,
+        telemetry=TelemetryConfig(window="dtim") if telemetry else None,
+        profiler=ProfilerConfig() if profiler else None,
+        queue_backend=queue_backend,
+        delivery_backend=delivery_backend,
+    )
+    if tracer is None:
+        result = run_trace_des(trace, config)
+    else:
+        result = run_trace_des(trace, config, tracer=tracer)
+    result.close()
+    return result
+
+
+def _assert_identical(ref, vec):
+    """Full-depth agreement: hash, then the pieces behind the hash."""
+    assert ref.medium.delivery_kind == "reference"
+    assert vec.medium.delivery_kind == "vectorized"
+    assert ref.deterministic_fingerprint() == vec.deterministic_fingerprint()
+    assert ref.simulator.events_processed == vec.simulator.events_processed
+    assert ref.medium.frames_dropped == vec.medium.frames_dropped
+    for r_client, v_client in zip(ref.clients, vec.clients):
+        assert r_client.counters == v_client.counters
+
+
+def _trace_sequence(path):
+    """Parsed JSONL trace records with host-clock fields stripped."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            for field in _WALL_FIELDS:
+                record.pop(field, None)
+            records.append(record)
+    return records
+
+
+class TestDeliveryEquivalenceProperty:
+    """Hypothesis cross product over scenario x seed x queue backend."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        scenario=st.sampled_from(["Starbucks", "Classroom", "WRL"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        queue_backend=st.sampled_from([None, "heap", "calendar"]),
+    )
+    def test_fingerprints_identical(self, scenario, seed, queue_backend):
+        ref = _run("reference", scenario, seed, queue_backend)
+        vec = _run("vectorized", scenario, seed, queue_backend)
+        _assert_identical(ref, vec)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        loss=st.sampled_from([0.02, 0.08, 0.15]),
+        fault_seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_identical_under_random_fault_plans(self, seed, loss, fault_seed):
+        """Loss + beacon loss + crash/rejoin perturb both lanes alike.
+
+        Fault injection exercises the paths deferred accrual gets wrong
+        first: drops (the dropped frame must still accrue for no one),
+        crash mid-window (detach must settle exactly once), rejoin
+        (fresh slot must re-baseline against current epoch totals).
+        """
+        plan = FaultPlan.parse(
+            f"loss={loss},beacon=0.01,seed={fault_seed},crash=0@2:4"
+        )
+        ref = _run("reference", seed=seed, fault_plan=plan)
+        vec = _run("vectorized", seed=seed, fault_plan=plan)
+        _assert_identical(ref, vec)
+
+
+class TestDeliveryEquivalenceObservers:
+    """Attached observers must neither diverge nor perturb either lane."""
+
+    def test_prom_and_timeseries_identical(self, tmp_path):
+        outputs = {}
+        for backend in ("reference", "vectorized"):
+            result = _run(backend, fault_plan=_PLAN, telemetry=True)
+            prom = tmp_path / f"{backend}.prom"
+            write_metrics(
+                result.collect_metrics(), str(prom), format_for_path(str(prom))
+            )
+            series = tmp_path / f"{backend}_timeseries.json"
+            assert result.timeseries is not None
+            result.timeseries.write(str(series))
+            outputs[backend] = (prom, series)
+
+        diff = diff_files(
+            str(outputs["reference"][0]),
+            str(outputs["vectorized"][0]),
+            ignore=("wall",),
+        )
+        assert diff.ok(), [c for c in diff.changed]
+        assert (
+            outputs["reference"][1].read_text()
+            == outputs["vectorized"][1].read_text()
+        )
+
+    def test_trace_event_sequences_identical(self, tmp_path):
+        """Same events, same order, same fields — wall clock aside.
+
+        The JSONL tracer sees every wakeup, suspend, and recovery event
+        as it happens, so sequence equality is a much stronger claim
+        than end-of-run counter equality: the two lanes walk the same
+        path, not just reach the same destination.
+        """
+        sequences = {}
+        for backend in ("reference", "vectorized"):
+            log = tmp_path / f"{backend}.jsonl"
+            tracer = JsonlTracer(str(log))
+            try:
+                _run(backend, fault_plan=_PLAN, tracer=tracer)
+            finally:
+                tracer.close()
+            sequences[backend] = _trace_sequence(log)
+        assert sequences["reference"] == sequences["vectorized"]
+        assert sequences["reference"], "tracer captured no events"
+
+    def test_profiler_does_not_perturb_either_backend(self):
+        for backend in ("reference", "vectorized"):
+            profiled = _run(backend, fault_plan=_PLAN, profiler=True)
+            plain = _run(backend, fault_plan=_PLAN, profiler=False)
+            assert (
+                profiled.deterministic_fingerprint()
+                == plain.deterministic_fingerprint()
+            )
+            report = profiled.profile_report()
+            assert report is not None
+            sites = {
+                f"{site['owner']}.{site['method']}"
+                for site in report["sites"]
+            }
+            drain = (
+                "Medium._drain_deliveries_vector"
+                if backend == "vectorized"
+                else "Medium._drain_deliveries"
+            )
+            assert drain in sites
+
+    def test_telemetry_does_not_perturb_either_backend(self):
+        for backend in ("reference", "vectorized"):
+            with_t = _run(backend, fault_plan=_PLAN, telemetry=True)
+            without = _run(backend, fault_plan=_PLAN, telemetry=False)
+            assert (
+                with_t.deterministic_fingerprint()
+                == without.deterministic_fingerprint()
+            )
+
+
+class TestDeliveryBackendConfig:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DesRunConfig(delivery_backend="simd")
+
+    def test_default_is_vectorized(self):
+        result = _run(None)
+        assert result.medium.delivery_kind == "vectorized"
+        assert result.medium.radio_array is not None
+
+    def test_reference_lane_has_no_radio_array(self):
+        result = _run("reference")
+        assert result.medium.radio_array is None
