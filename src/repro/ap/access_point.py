@@ -116,6 +116,10 @@ class AccessPoint(Entity):
         #: check per DTIM. Swap in a JsonlTracer to record dtim_cycle
         #: spans and btim events.
         self.tracer = NULL_TRACER
+        #: Optional frame-lifecycle ledger (repro.obs.ledger). Detached
+        #: by default: one ``is None`` check per broadcast frame, the
+        #: same zero-cost contract as the tracer.
+        self.ledger = None
 
     # -- association -------------------------------------------------
 
@@ -226,8 +230,13 @@ class AccessPoint(Entity):
         )
 
     def _drain_broadcast_buffer(self) -> None:
+        ledger = self.ledger
         for frame in self.broadcast_buffer.drain():
             self.counters.broadcast_frames_sent += 1
+            if ledger is not None:
+                # After _transmit_beacon: the table state here is what
+                # Algorithm 1 just classified against.
+                ledger.frame_drained(frame, self.port_table)
             self._medium.transmit(
                 self, frame, frame.to_bytes(), self.config.broadcast_rate_bps
             )
@@ -248,9 +257,16 @@ class AccessPoint(Entity):
         )
         if self.associations.any_in_power_save():
             self.counters.broadcast_frames_buffered += 1
-            self.broadcast_buffer.enqueue(frame)
+            accepted = self.broadcast_buffer.enqueue(frame)
+            if self.ledger is not None:
+                if accepted:
+                    self.ledger.frame_enqueued()
+                else:
+                    self.ledger.frame_buffer_dropped()
         else:
             self.counters.broadcast_frames_sent += 1
+            if self.ledger is not None:
+                self.ledger.frame_immediate(frame)
             self._medium.transmit(
                 self, frame, frame.to_bytes(), self.config.broadcast_rate_bps
             )

@@ -198,6 +198,17 @@ class ClientUdpPortTable:
         self.stats.lookups += 1
         return frozenset(self._clients_by_port.get(port, ()))
 
+    def has_subscribers(self, port: int) -> bool:
+        """Whether any client currently holds ``port`` open.
+
+        A read-only probe that deliberately does **not** count as a
+        lookup in :attr:`stats`: those op counters model the paper's
+        delay analysis and are exported into the deterministic
+        fingerprint, so passive observers (the frame ledger) must use
+        this instead of :meth:`clients_for_port`.
+        """
+        return bool(self._clients_by_port.get(port))
+
     def ports_for_client(self, aid: int) -> FrozenSet[int]:
         return self._ports_by_aid.get(aid, frozenset())
 

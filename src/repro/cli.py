@@ -8,15 +8,19 @@ Commands:
 * ``sim run`` — replay a scenario through the event-level simulator,
   with ``--metrics-out`` (Prometheus/JSONL export), ``--trace-log``
   (structured JSONL event trace), ``--serve-metrics PORT`` (live
-  ``/metrics`` + ``/timeseries`` + ``/healthz`` endpoint), and
-  ``--timeseries-out`` (windowed per-DTIM telemetry dump).
+  ``/metrics`` + ``/timeseries`` + ``/healthz`` endpoint),
+  ``--timeseries-out`` (windowed per-DTIM telemetry dump), and
+  ``--ledger-out`` (the frame-lifecycle delay/energy ledger).
 * ``experiments run`` — regenerate paper tables/figures (all or some).
 * ``experiments headline`` — the headline-claims scorecard.
 * ``overhead capacity`` / ``overhead delay`` — Section V analyses.
 * ``obs summarize`` — aggregate a ``--trace-log`` file into span/event
   statistics.
-* ``obs diff`` — compare two runs' metrics/timeseries/bench/profile
-  artifacts with tolerances (nonzero exit on regression).
+* ``obs diff`` — compare two runs' metrics/timeseries/bench/profile/
+  ledger/loadgen artifacts with tolerances (nonzero exit on
+  regression).
+* ``obs slo`` — evaluate a declarative ``repro-slo/v1`` spec against
+  run artifacts; any burned objective exits nonzero (the CI gate).
 * ``profile`` — run a scenario under the attribution profiler and
   report where callback wall time goes (hotspot table, a
   ``repro-profile/v1`` JSON report, and a collapsed-stack file for
@@ -221,7 +225,12 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
     from repro.faults import FaultPlan
     from repro.sim.invariants import InvariantViolation
 
-    trace = _load_trace(args.source)
+    source = args.source or args.scenario
+    if source is None:
+        print("error: give a scenario (positional or --scenario)",
+              file=sys.stderr)
+        return 2
+    trace = _load_trace(source)
     profile = _DEVICES[args.device]
     tracer = _make_tracer(args.trace_log)
     fault_plan = None
@@ -256,6 +265,7 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         queue_backend=args.queue,
         delivery_backend=args.delivery,
+        ledger=bool(args.ledger or args.ledger_out),
     )
     prepared = prepare_trace_des(trace, config, tracer=tracer)
     if prepared.metrics_server is not None:
@@ -333,6 +343,14 @@ def cmd_sim_run(args: argparse.Namespace) -> int:
             f"wrote {len(result.timeseries.windows)} timeseries window(s) "
             f"to {args.timeseries_out}"
         )
+    ledger_document = result.ledger_document()
+    if ledger_document is not None:
+        from repro.obs.ledger import render_ledger, write_ledger_json
+
+        print(render_ledger(ledger_document))
+        if args.ledger_out:
+            write_ledger_json(ledger_document, args.ledger_out)
+            print(f"wrote ledger to {args.ledger_out}")
     return 0
 
 
@@ -515,6 +533,27 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_obs_slo(args: argparse.Namespace) -> int:
+    from repro.obs.diff import load_metrics_file
+    from repro.obs.slo import evaluate_slo, load_slo_spec, render_slo
+
+    spec = load_slo_spec(args.spec)
+    metrics: dict = {}
+    for path in args.artifacts:
+        try:
+            loaded = load_metrics_file(path)
+        except (ValueError, OSError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        metrics.update(loaded)
+    report = evaluate_slo(spec, metrics)
+    print(render_slo(report))
+    if report.ok():
+        return 0
+    print("obs slo: objectives burned", file=sys.stderr)
+    return 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import render_bench, run_benchmarks, write_bench_json
 
@@ -667,7 +706,14 @@ def build_parser() -> argparse.ArgumentParser:
     sim = commands.add_parser("sim", help="event-level simulation")
     sim_sub = sim.add_subparsers(dest="subcommand", required=True)
     sim_run = sim_sub.add_parser("run", help="replay a scenario through the DES")
-    sim_run.add_argument("source", help="scenario name or JSONL path")
+    sim_run.add_argument(
+        "source", nargs="?", default=None,
+        help="scenario name or JSONL path",
+    )
+    sim_run.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="scenario name (alternative to the positional source)",
+    )
     sim_run.add_argument(
         "--policy",
         choices=["receive-all", "client-side", "hide"],
@@ -739,6 +785,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeseries-window", default="dtim", metavar="SPEC",
         help="aggregation window: 'dtim' (one window per DTIM interval, "
              "the default) or a width in simulated seconds",
+    )
+    sim_run.add_argument(
+        "--ledger", action="store_true",
+        help="attach the frame-lifecycle ledger (per-frame delay spans, "
+             "per-client energy attribution); fingerprints are "
+             "unaffected",
+    )
+    sim_run.add_argument(
+        "--ledger-out", default=None, metavar="PATH",
+        help="write the repro-ledger/v1 JSON here (implies --ledger)",
     )
     sim_run.set_defaults(func=cmd_sim_run)
 
@@ -953,6 +1009,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list metrics within tolerance too, not just changes",
     )
     diff.set_defaults(func=cmd_obs_diff)
+    slo = obs_sub.add_parser(
+        "slo",
+        help="evaluate a repro-slo/v1 spec against run artifacts "
+             "(exit 1 when any objective burns)",
+    )
+    slo.add_argument(
+        "--spec", required=True, metavar="PATH",
+        help="repro-slo/v1 JSON spec file",
+    )
+    slo.add_argument(
+        "artifacts", nargs="+", metavar="ARTIFACT",
+        help="artifacts to merge and evaluate (ledger/loadgen/bench "
+             "JSON, .prom, .jsonl, timeseries); later files win on "
+             "duplicate keys",
+    )
+    slo.set_defaults(func=cmd_obs_slo)
 
     bench = commands.add_parser(
         "bench", help="telemetry benchmark suite (engine, Algorithm 1, obs overhead)"

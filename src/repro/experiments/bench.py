@@ -35,6 +35,14 @@ The benchmarks cover the paths every perf PR touches:
   ``delivery_fanout_events_per_second_reference`` is the same run on
   the reference per-entity loop, so the fan-out speedup stays a
   visible, diffable number.
+* ``ledger_overhead_fraction`` — the cost of the attached frame
+  ledger (per-frame delay spans + delivery observer) over the exact
+  same seeded run with the ledger detached, at the dense-fleet
+  operating point (DenseFleet, 1000 clients, vectorized delivery)
+  where per-frame work dominates. The record path is one deque append
+  per enqueue, one popleft + two histogram increments per drain, and a
+  dict pop per delivery event, so the contract is < 5%;
+  ``benchmarks/bench_telemetry.py`` asserts it.
 * ``profiler_overhead_fraction`` — the cost of the sampling-mode
   attribution profiler over the same seeded run unprofiled. The
   sampled run loop touches one extra countdown per event and resolves
@@ -434,6 +442,73 @@ def bench_profiler_overhead(
     )
 
 
+def bench_ledger_overhead(
+    clients: int = 1_000,
+    duration_s: float = 4.0,
+    repeats: int = 3,
+    scenario: str = "DenseFleet",
+) -> BenchResult:
+    """Attached-ledger vs detached wall time, same seeded run.
+
+    Same methodology as :func:`bench_obs_overhead`: GC quiesced, one
+    warm-up per side, then interleaved best-of-N so host drift cancels.
+    Measured on the vectorized dense-fleet hot path — the worst case
+    for the ledger, since every broadcast frame crosses all four span
+    points while the delivery lane itself is at its cheapest.
+    """
+    trace = generate_trace(scenario_by_name(scenario))
+    base_config = DesRunConfig(
+        client_count=clients,
+        duration_s=duration_s,
+        delivery_backend="vectorized",
+    )
+    ledger_config = replace(base_config, ledger=True)
+    frames_tracked = [0.0]
+
+    def timed(config: DesRunConfig) -> float:
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            result = run_trace_des(trace, config)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        try:
+            if result.ledger is not None:
+                frames_tracked[0] = float(
+                    result.ledger.frames_enqueued
+                    + result.ledger.frames_immediate
+                )
+            return result.simulator.run_wall_time_s
+        finally:
+            result.close()
+
+    timed(base_config)
+    timed(ledger_config)
+    base_samples: List[float] = []
+    ledger_samples: List[float] = []
+    for _ in range(max(1, repeats)):
+        base_samples.append(timed(base_config))
+        ledger_samples.append(timed(ledger_config))
+    base_s = min(base_samples)
+    ledger_s = min(ledger_samples)
+    overhead = ledger_s / base_s - 1.0 if base_s > 0 else 0.0
+    return BenchResult(
+        name="ledger_overhead_fraction",
+        value=overhead,
+        unit="fraction",
+        higher_is_better=False,
+        detail={
+            "baseline_wall_s": base_s,
+            "ledger_wall_s": ledger_s,
+            "frames_tracked": frames_tracked[0],
+            "duration_s": duration_s,
+            "clients": float(clients),
+        },
+    )
+
+
 def bench_service_reports(
     messages: int = 40_000,
     clients: int = 1_000,
@@ -616,6 +691,14 @@ def run_benchmarks(
             name="delivery_fanout_events_per_second_reference",
         ),
         bench_obs_overhead(duration_s=4.0 if quick else 8.0, repeats=reps),
+        bench_ledger_overhead(
+            clients=250 if quick else 1_000,
+            duration_s=2.0 if quick else 4.0,
+            # The true cost is a handful of dict/deque ops per broadcast
+            # frame, far below host jitter on a ~0.3 s wall: extra
+            # interleaved repeats let min() find the quiet floor.
+            repeats=min(reps, 2) if quick else max(reps, 6),
+        ),
         bench_profiler_overhead(duration_s=4.0 if quick else 8.0, repeats=reps),
         bench_service_reports(
             messages=10_000 if quick else 40_000, repeats=reps

@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError
 from repro.faults import FaultInjector, FaultPlan
 from repro.net.packet import build_broadcast_udp_packet
 from repro.obs.collectors import collect_all, collect_delivery, collect_profiler
+from repro.obs.ledger import FrameLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import AttributionProfiler, ProfilerConfig
 from repro.obs.server import MetricsServer
@@ -151,6 +152,12 @@ class DesRunConfig:
     #: (vectorized). Bit-identical pair (the delivery-equivalence suite
     #: pins it), so — like ``queue_backend`` — a pure throughput knob.
     delivery_backend: Optional[str] = None
+    #: Attach the frame-lifecycle ledger (``--ledger-out``): per-frame
+    #: buffering/delivery delay and per-client energy-attribution
+    #: histograms. Reads only simulation time and settled state, so —
+    #: like telemetry and the profiler — the run's determinism
+    #: fingerprint is identical with it on or off.
+    ledger: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_backend is not None and self.queue_backend not in QUEUE_KINDS:
@@ -208,6 +215,9 @@ class DesRunResult:
     metrics_server: Optional[MetricsServer] = None
     #: Live when the run profiled its hot path.
     profiler: Optional[AttributionProfiler] = None
+    #: Live when the run carried the frame-lifecycle ledger (finalized:
+    #: per-client energy attribution is already accrued).
+    ledger: Optional[FrameLedger] = None
 
     def close(self) -> None:
         """Stop the metrics server, if one is still running."""
@@ -257,6 +267,12 @@ class DesRunResult:
             return None
         return self.profiler.report()
 
+    def ledger_document(self) -> Optional[Dict[str, object]]:
+        """The run's ``repro-ledger/v1`` document (None if detached)."""
+        if self.ledger is None:
+            return None
+        return self.ledger.to_document()
+
 
 class PreparedDesRun:
     """A fully wired DES run that has not executed yet.
@@ -281,6 +297,7 @@ class PreparedDesRun:
         clients: List[Client],
         fault_injector: Optional[FaultInjector],
         invariants: Optional[InvariantSuite],
+        ledger: Optional[FrameLedger] = None,
     ) -> None:
         self.trace = trace
         self.config = config
@@ -292,6 +309,7 @@ class PreparedDesRun:
         self.clients = clients
         self.fault_injector = fault_injector
         self.invariants = invariants
+        self.ledger = ledger
         self.live_registry: Optional[MetricsRegistry] = None
         self.recorder: Optional[TimeseriesRecorder] = None
         self.metrics_server: Optional[MetricsServer] = None
@@ -460,6 +478,13 @@ class PreparedDesRun:
             self.recorder.close_partial(self.duration)
         if self.invariants is not None:
             self.invariants.check_final()
+        if self.ledger is not None:
+            # After run(): the final sync hook has flushed the deferred
+            # RadioArray accrual, so both delivery lanes meter the same
+            # settled counters here.
+            self.ledger.finalize(
+                self.clients, self.config.profile, self.duration
+            )
         return DesRunResult(
             trace_name=self.trace.name,
             duration_s=self.duration,
@@ -475,6 +500,7 @@ class PreparedDesRun:
             live_registry=self.live_registry,
             metrics_server=self.metrics_server,
             profiler=self.profiler,
+            ledger=self.ledger,
         )
 
 
@@ -522,6 +548,14 @@ def prepare_trace_des(
     )
     ap.tracer = tracer
     medium.attach(ap)
+
+    ledger: Optional[FrameLedger] = None
+    if config.ledger:
+        ledger = FrameLedger(clock=lambda: simulator.now)
+        ap.ledger = ledger
+        # Both delivery lanes fire observers at the same per-frame
+        # point (after recipient fan-out, before on_complete).
+        medium.add_delivery_observer(ledger.on_delivery)
 
     useful_ports = ports_for_target_fraction(trace, config.useful_fraction)
     profile = config.profile
@@ -592,6 +626,7 @@ def prepare_trace_des(
         clients=clients,
         fault_injector=injector,
         invariants=invariants,
+        ledger=ledger,
     )
 
 

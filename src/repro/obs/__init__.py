@@ -65,6 +65,22 @@ from repro.obs.profiler import (
     render_profile_table,
     write_profile_json,
 )
+from repro.obs.hdr import HdrHistogram, QUANTILE_LABELS
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    FrameLedger,
+    flatten_ledger_document,
+    render_ledger,
+    write_ledger_json,
+)
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    ObjectiveResult,
+    SloReport,
+    evaluate_slo,
+    load_slo_spec,
+    render_slo,
+)
 from repro.obs.summarize import TraceSummary, render_summary, summarize_trace
 
 __all__ = [
@@ -72,16 +88,23 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DiffResult",
+    "FrameLedger",
     "Gauge",
+    "HdrHistogram",
     "Histogram",
     "JsonlTracer",
+    "LEDGER_SCHEMA",
     "MetricDelta",
     "MetricsRegistry",
     "MetricsServer",
     "NULL_TRACER",
     "NullTracer",
+    "ObjectiveResult",
     "PROFILE_SCHEMA",
     "ProfilerConfig",
+    "QUANTILE_LABELS",
+    "SLO_SCHEMA",
+    "SloReport",
     "TIMESERIES_SCHEMA",
     "TimeseriesRecorder",
     "TraceSummary",
@@ -99,18 +122,24 @@ __all__ = [
     "diff_files",
     "diff_metrics",
     "dtim_window_s",
+    "evaluate_slo",
+    "flatten_ledger_document",
     "format_for_path",
     "load_metrics_file",
+    "load_slo_spec",
     "read_trace_jsonl",
     "read_trace_jsonl_lenient",
     "render_diff",
+    "render_ledger",
     "render_metrics_jsonl",
     "render_metrics_table",
     "render_prometheus",
+    "render_slo",
     "render_summary",
     "series_key",
     "set_default_registry",
     "summarize_trace",
     "tracer_to_string_buffer",
+    "write_ledger_json",
     "write_metrics",
 ]

@@ -22,6 +22,13 @@ Recognized file shapes (detected from content, not extension):
 * Profile JSON (``repro profile``, schema ``repro-profile/v1``) — one
   entry per site for events and attributed wall seconds, plus the
   run-level totals.
+* Ledger JSON (``--ledger-out``, schema ``repro-ledger/v1``) — counts
+  plus every histogram's stats, summary quantiles, and cumulative
+  per-bucket counts, so two ledgers compare quantile-by-quantile *and*
+  bucket-by-bucket.
+* Loadgen JSON (``repro loadgen --out``, schema ``repro-loadgen/v1``)
+  — achieved counters, per-status ACK counts, and round-trip-latency
+  quantiles.
 * A bare fingerprint line (``deterministic_fingerprint`` hex) —
   compared for exact equality.
 """
@@ -34,6 +41,7 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.obs.ledger import flatten_ledger_document
 from repro.obs.metrics import METRIC_NAME_RE, series_key
 from repro.reporting import render_table
 
@@ -46,7 +54,26 @@ _PROM_LINE_RE = re.compile(
 _FINGERPRINT_RE = re.compile(r"^[0-9a-f]{40,128}$")
 
 #: Histogram snapshot fields worth diffing (others are derived/noisy).
-_HISTOGRAM_FIELDS = ("count", "sum", "mean", "p50", "p95")
+_HISTOGRAM_FIELDS = ("count", "sum", "mean", "p50", "p95", "p99")
+
+
+def _flatten_hdr_payload(
+    prefix: str,
+    payload: Dict[str, object],
+    out: Dict[str, "Value"],
+    labels: Optional[Dict[str, str]] = None,
+) -> None:
+    """Flatten one :meth:`HdrHistogram.to_dict` payload into ``out``."""
+
+    def put(stat: str, value: object) -> None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            name = f"{prefix}_{stat}"
+            out[series_key(name, labels) if labels else name] = float(value)
+
+    for stat in ("count", "sum", "mean", "min", "max"):
+        put(stat, payload.get(stat))
+    for label, value in (payload.get("quantiles") or {}).items():  # type: ignore[union-attr]
+        put(str(label), value)
 
 
 def _parse_prom_value(token: str) -> Optional[float]:
@@ -129,6 +156,33 @@ def _load_json_document(doc: object) -> Dict[str, Value]:
             ):
                 if isinstance(doc.get(field), (int, float)):
                     out[f"repro_profile_{field}"] = float(doc[field])
+            return out
+        if schema == "repro-ledger/v1":
+            return dict(flatten_ledger_document(doc))
+        if schema == "repro-loadgen/v1":
+            out = {}
+            for key, value in sorted((doc.get("achieved") or {}).items()):
+                if key == "acks_by_status" and isinstance(value, dict):
+                    for status, count in sorted(value.items()):
+                        out[
+                            series_key(
+                                "loadgen_acks_total", {"status": str(status)}
+                            )
+                        ] = float(count)
+                elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                    out[f"loadgen_{key}"] = float(value)
+            latency = doc.get("latency") or {}
+            rtt = latency.get("rtt_ms")
+            if isinstance(rtt, dict):
+                _flatten_hdr_payload("loadgen_rtt_ms", rtt, out)
+            for status, payload in sorted(
+                (latency.get("rtt_ms_by_status") or {}).items()
+            ):
+                if isinstance(payload, dict):
+                    _flatten_hdr_payload(
+                        "loadgen_rtt_ms", payload, out,
+                        labels={"status": str(status)},
+                    )
             return out
         if schema == "repro-timeseries/v1":
             windows = doc.get("windows") or []

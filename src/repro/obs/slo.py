@@ -1,0 +1,241 @@
+"""Declarative SLO specs evaluated against run artifacts.
+
+``repro obs slo --spec SPEC artifact...`` turns the repo's diffable
+artifacts (ledger JSON, loadgen reports, ``.prom`` snapshots, bench
+files — anything :func:`repro.obs.diff.load_metrics_file` parses) into
+a pass/fail gate: each objective names a flattened metric key and a
+bound, the bound may be a number or a small arithmetic expression over
+the spec's ``vars`` (so ``"3*dtim"`` reads as intended next to
+``"dtim": 0.1024``), and any burned objective makes the command exit
+nonzero — which is what lets CI fail a build on a delay-tail or
+ACK-latency regression instead of eyeballing dashboards.
+
+Spec schema (``repro-slo/v1``)::
+
+    {
+      "schema": "repro-slo/v1",
+      "name": "sim delivery delay",
+      "vars": {"dtim": 0.1024},
+      "objectives": [
+        {"name": "delivery_delay_p99",
+         "key": "ledger_delivery_delay_s_p99",
+         "max": "3*dtim"},
+        {"name": "no_frames_lost",
+         "key": "ledger_frames_outstanding", "max": 0}
+      ]
+    }
+
+Expressions are deliberately tiny: numbers, ``vars`` names, ``+-*/``
+and parentheses. They are tokenized against a whitelist before being
+evaluated with empty builtins, so a spec file can never execute
+anything — unknown names and stray characters are configuration
+errors, not code.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SLO_SCHEMA",
+    "ObjectiveResult",
+    "SloReport",
+    "load_slo_spec",
+    "evaluate_slo",
+    "render_slo",
+]
+
+SLO_SCHEMA = "repro-slo/v1"
+
+#: One whitelisted token per alternative: number, name, operator.
+#: Anything else (group 4) fails the parse.
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)"  # number
+    r"|([A-Za-z_][A-Za-z0-9_]*)"  # variable name
+    r"|([+\-*/()])"  # operator / parenthesis
+    r"|(\S)"  # anything else: rejected
+    r")"
+)
+
+
+def _eval_bound(
+    bound: Union[int, float, str], variables: Dict[str, float]
+) -> float:
+    """Resolve a bound: a literal number or a vars-only expression."""
+    if isinstance(bound, bool) or not isinstance(bound, (int, float, str)):
+        raise ConfigurationError(f"SLO bound must be a number or string: {bound!r}")
+    if isinstance(bound, (int, float)):
+        return float(bound)
+    expression = bound.strip()
+    if not expression:
+        raise ConfigurationError("SLO bound expression is empty")
+    if "**" in expression:
+        # Two adjacent '*' tokens would pass the whitelist but allow
+        # exponentiation (and its pathological blow-ups); bounds never
+        # need it.
+        raise ConfigurationError(f"SLO bound {bound!r} uses '**'")
+    position = 0
+    for match in _TOKEN_RE.finditer(expression):
+        position = match.end()
+        number, name, _operator, junk = match.groups()
+        if junk is not None:
+            raise ConfigurationError(
+                f"SLO bound {bound!r} contains forbidden character {junk!r}"
+            )
+        if name is not None and name not in variables:
+            known = ", ".join(sorted(variables)) or "(none)"
+            raise ConfigurationError(
+                f"SLO bound {bound!r} references unknown var {name!r}; "
+                f"spec vars: {known}"
+            )
+        _ = number
+    if position != len(expression.rstrip()) and expression[position:].strip():
+        raise ConfigurationError(f"SLO bound {bound!r} did not parse")
+    try:
+        value = eval(  # noqa: S307 - tokens whitelisted above, no builtins
+            expression, {"__builtins__": {}}, dict(variables)
+        )
+    except ZeroDivisionError:
+        raise ConfigurationError(f"SLO bound {bound!r} divides by zero")
+    except SyntaxError:
+        raise ConfigurationError(f"SLO bound {bound!r} is not an expression")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(
+            f"SLO bound {bound!r} evaluated to non-number {value!r}"
+        )
+    return float(value)
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """One objective's verdict against the merged metrics."""
+
+    name: str
+    key: str
+    kind: str  # "max" or "min"
+    bound: float
+    value: Optional[float]  # None when the key is missing
+    ok: bool
+
+    @property
+    def note(self) -> str:
+        if self.value is None:
+            return "metric missing from artifacts"
+        if self.ok:
+            return ""
+        if self.kind == "max":
+            return f"burned: {self.value:.6g} > {self.bound:.6g}"
+        return f"burned: {self.value:.6g} < {self.bound:.6g}"
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Every objective's result for one spec evaluation."""
+
+    spec_name: str
+    results: Tuple[ObjectiveResult, ...]
+
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def burns(self) -> List[ObjectiveResult]:
+        return [result for result in self.results if not result.ok]
+
+
+def load_slo_spec(path: str) -> Dict[str, object]:
+    """Read and structurally validate a ``repro-slo/v1`` spec file."""
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            spec = json.load(stream)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read SLO spec {path}: {exc}")
+    if not isinstance(spec, dict) or spec.get("schema") != SLO_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: expected an SLO spec with schema {SLO_SCHEMA!r}"
+        )
+    objectives = spec.get("objectives")
+    if not isinstance(objectives, list) or not objectives:
+        raise ConfigurationError(f"{path}: spec has no objectives")
+    variables = spec.get("vars", {})
+    if not isinstance(variables, dict):
+        raise ConfigurationError(f"{path}: vars must be an object")
+    for raw in objectives:
+        if not isinstance(raw, dict) or not raw.get("key"):
+            raise ConfigurationError(f"{path}: objective missing 'key': {raw!r}")
+        if ("max" in raw) == ("min" in raw):
+            raise ConfigurationError(
+                f"{path}: objective {raw.get('name', raw['key'])!r} needs "
+                "exactly one of 'max' or 'min'"
+            )
+    return spec
+
+
+def evaluate_slo(
+    spec: Dict[str, object], metrics: Dict[str, float]
+) -> SloReport:
+    """Evaluate every objective in ``spec`` against flattened metrics."""
+    variables = {
+        str(name): float(value)
+        for name, value in (spec.get("vars") or {}).items()  # type: ignore[union-attr]
+    }
+    results: List[ObjectiveResult] = []
+    for raw in spec.get("objectives", ()):  # type: ignore[union-attr]
+        key = str(raw["key"])
+        name = str(raw.get("name") or key)
+        kind = "max" if "max" in raw else "min"
+        bound = _eval_bound(raw[kind], variables)
+        raw_value = metrics.get(key)
+        if raw_value is None or isinstance(raw_value, str):
+            # A missing (or non-numeric, e.g. fingerprint) metric cannot
+            # prove the objective holds: burn.
+            results.append(
+                ObjectiveResult(
+                    name=name, key=key, kind=kind, bound=bound,
+                    value=None, ok=False,
+                )
+            )
+            continue
+        value = float(raw_value)
+        ok = value <= bound if kind == "max" else value >= bound
+        results.append(
+            ObjectiveResult(
+                name=name, key=key, kind=kind, bound=bound, value=value, ok=ok
+            )
+        )
+    return SloReport(
+        spec_name=str(spec.get("name") or "slo"), results=tuple(results)
+    )
+
+
+def render_slo(report: SloReport) -> str:
+    """A human verdict table, one row per objective."""
+    from repro.reporting import render_table
+
+    rows: List[List[str]] = []
+    for result in report.results:
+        rows.append(
+            [
+                result.name,
+                result.key,
+                "-" if result.value is None else f"{result.value:.6g}",
+                f"{'<=' if result.kind == 'max' else '>='} {result.bound:.6g}",
+                "ok" if result.ok else "BURN",
+                result.note,
+            ]
+        )
+    verdict = "all objectives met" if report.ok() else (
+        f"{len(report.burns)}/{len(report.results)} objectives burned"
+    )
+    table = render_table(
+        ["objective", "key", "value", "bound", "status", "note"],
+        rows,
+        title=f"SLO: {report.spec_name}",
+    )
+    return f"{table}\n{verdict}"

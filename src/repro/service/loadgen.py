@@ -29,10 +29,23 @@ from repro.dot11.mac_address import MacAddress
 from repro.dot11.pvb import MAX_AID
 from repro.errors import ServiceError
 from repro.net.ports import WELL_KNOWN_BROADCAST_SERVICES
+from repro.obs.hdr import HdrHistogram
 from repro.service import wire
 from repro.traces.scenarios import scenario_by_name
 
 LOADGEN_SCHEMA = "repro-loadgen/v1"
+
+#: Pending want-ack sends per worker: (bss, aid) -> (seq, perf_counter
+#: send time). The server's drained-ACK path coalesces to the latest
+#: sequence per client, so a newer want-ack send for the same client
+#: simply supersedes the older pending entry.
+_PendingAcks = Dict[Tuple[int, int], Tuple[int, float]]
+
+
+def _rtt_histogram() -> HdrHistogram:
+    # Milliseconds; same geometry as the service-side latency histograms
+    # so `repro obs diff` can compare the two ends of the round trip.
+    return HdrHistogram(min_value=1e-3, max_value=6e4, sub_count=32)
 
 #: seq field offset inside the fixed wire header (see wire._HEADER).
 _SEQ_OFFSET = 8
@@ -89,6 +102,12 @@ class LoadgenReport:
     sent_keepalives: int = 0
     acks_received: int = 0
     acks_by_status: Dict[int, int] = field(default_factory=dict)
+    #: Want-ack round-trip latency (send to ACK receipt, milliseconds)
+    #: keyed by ACK status byte.
+    rtt_ms_by_status: Dict[int, HdrHistogram] = field(default_factory=dict)
+    #: ACKs that matched no pending want-ack send: superseded by a newer
+    #: sequence for the same client, or duplicated by the network.
+    acks_unmatched: int = 0
     #: Full reports re-sent because an ACK said "unknown client".
     rereports: int = 0
     send_errors: int = 0
@@ -96,6 +115,18 @@ class LoadgenReport:
     @property
     def achieved_rate(self) -> float:
         return self.sent_total / self.duration_s if self.duration_s > 0 else 0.0
+
+    def record_rtt(self, status: int, rtt_ms: float) -> None:
+        histogram = self.rtt_ms_by_status.get(status)
+        if histogram is None:
+            histogram = self.rtt_ms_by_status[status] = _rtt_histogram()
+        histogram.record(rtt_ms)
+
+    def merged_rtt(self) -> HdrHistogram:
+        """Round-trip latency across every ACK status."""
+        if not self.rtt_ms_by_status:
+            return _rtt_histogram()
+        return HdrHistogram.merged(self.rtt_ms_by_status.values())
 
     def to_document(self) -> Dict[str, object]:
         return {
@@ -122,8 +153,16 @@ class LoadgenReport:
                 "acks_by_status": {
                     str(k): v for k, v in sorted(self.acks_by_status.items())
                 },
+                "acks_unmatched": self.acks_unmatched,
                 "rereports": self.rereports,
                 "send_errors": self.send_errors,
+            },
+            "latency": {
+                "rtt_ms": self.merged_rtt().to_dict(),
+                "rtt_ms_by_status": {
+                    str(status): histogram.to_dict()
+                    for status, histogram in sorted(self.rtt_ms_by_status.items())
+                },
             },
         }
 
@@ -184,11 +223,17 @@ def build_clients(config: LoadgenConfig) -> List[_SimClient]:
 
 
 class _AckProtocol(asyncio.DatagramProtocol):
-    """Counts ACKs and queues unknown-client re-reports."""
+    """Counts ACKs, records round-trip latency, queues re-reports."""
 
-    def __init__(self, report: LoadgenReport, rereport_queue: List[int]) -> None:
+    def __init__(
+        self,
+        report: LoadgenReport,
+        rereport_queue: List[int],
+        pending_acks: _PendingAcks,
+    ) -> None:
         self._report = report
         self._rereports = rereport_queue
+        self._pending = pending_acks
         self.transport: Optional[asyncio.DatagramTransport] = None
 
     def connection_made(self, transport) -> None:
@@ -204,6 +249,18 @@ class _AckProtocol(asyncio.DatagramProtocol):
         self._report.acks_received += 1
         by_status = self._report.acks_by_status
         by_status[message.status] = by_status.get(message.status, 0) + 1
+        client = (message.bss, message.aid)
+        pending = self._pending.get(client)
+        if pending is not None and pending[0] == message.seq:
+            del self._pending[client]
+            self._report.record_rtt(
+                message.status,
+                max(0.0, (time.perf_counter() - pending[1]) * 1e3),
+            )
+        else:
+            # Either a stale ACK (we already sent a newer want-ack for
+            # this client) or a duplicate; no send time to pair it with.
+            self._report.acks_unmatched += 1
         if message.status == wire.ACK_UNKNOWN_CLIENT:
             self._rereports.append((message.bss * MAX_AID) + message.aid - 1)
 
@@ -219,8 +276,9 @@ async def _worker(
     """One endpoint pushing its client slice at ``rate_share`` msgs/s."""
     loop = asyncio.get_event_loop()
     rereport_queue: List[int] = []
+    pending_acks: _PendingAcks = {}
     transport, _ = await loop.create_datagram_endpoint(
-        lambda: _AckProtocol(report, rereport_queue),
+        lambda: _AckProtocol(report, rereport_queue, pending_acks),
         remote_addr=(config.host, config.port),
     )
     rng = random.Random((config.seed << 16) ^ offsets[0])
@@ -260,6 +318,13 @@ async def _worker(
                 except OSError:  # pragma: no cover - kernel buffer full
                     report.send_errors += 1
                     continue
+                if want_ack:
+                    # Latest want-ack wins, mirroring the server's
+                    # coalesced per-client ACK semantics.
+                    pending_acks[(client.bss, client.aid)] = (
+                        client.seq,
+                        time.perf_counter(),
+                    )
                 sent_count += 1
                 if len(payload) > wire.HEADER_BYTES:
                     report.sent_reports += 1
@@ -315,7 +380,24 @@ def render_report(report: LoadgenReport) -> str:
             f"status {status}: {count}"
             for status, count in sorted(report.acks_by_status.items())
         )
-        lines.append(f"  acks {report.acks_received} ({statuses})")
+        lines.append(
+            f"  acks {report.acks_received} ({statuses}), "
+            f"unmatched {report.acks_unmatched}"
+        )
+        merged = report.merged_rtt()
+        if merged.count:
+            lines.append(
+                f"  rtt ms (all statuses): p50 {merged.quantile(0.50):.3f}, "
+                f"p90 {merged.quantile(0.90):.3f}, "
+                f"p99 {merged.quantile(0.99):.3f}, max {merged.max:.3f} "
+                f"over {merged.count} matched acks"
+            )
+            for status, histogram in sorted(report.rtt_ms_by_status.items()):
+                lines.append(
+                    f"    status {status}: p50 {histogram.quantile(0.50):.3f}, "
+                    f"p99 {histogram.quantile(0.99):.3f}, "
+                    f"max {histogram.max:.3f} ({histogram.count} acks)"
+                )
     else:
         lines.append("  acks 0")
     return "\n".join(lines)

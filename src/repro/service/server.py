@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ap.flags import compute_broadcast_flags
 from repro.errors import FrameDecodeError, ServiceError
+from repro.obs.hdr import HdrHistogram, QUANTILE_LABELS
 from repro.obs.metrics import MetricsRegistry
 from repro.service import wire
 from repro.service.feed import BroadcastFrameFeed
@@ -288,6 +289,10 @@ class PortService:
         peek = wire.peek_route
         shard_of = wire.shard_index
         received = 0
+        # One timestamp per readiness wake-up, not per datagram: the
+        # batch drains in well under a millisecond, and the latency
+        # histograms' sub-bucket resolution is coarser than the skew.
+        received_at = self.now()
         for _ in range(_RECV_BATCH):
             try:
                 data, addr = recvfrom(2048)
@@ -303,7 +308,7 @@ class PortService:
                 self.garbage_datagrams += 1
                 continue
             shard = shards[shard_of(bss, aid, mac, nshards)]
-            shard.offer(data, addr)
+            shard.offer(data, addr, at=received_at)
             event = wake[shard.index]
             if not event.is_set():
                 event.set()
@@ -383,6 +388,15 @@ class PortService:
             "algorithm1_runs": self.algorithm1_runs,
         }
 
+    def merged_latency(self) -> Dict[str, HdrHistogram]:
+        """Each latency distribution folded across every shard."""
+        merged: Dict[str, HdrHistogram] = {}
+        for name in ("queue_wait_ms", "drain_batch_ms", "ack_latency_ms"):
+            merged[name] = HdrHistogram.merged(
+                shard.latency_histograms()[name] for shard in self.shards
+            )
+        return merged
+
     def _windowed_rates(self) -> Tuple[float, float]:
         """(reports/s, flags/s) since the previous rate sample."""
         now = time.monotonic()
@@ -446,6 +460,25 @@ class PortService:
             "service_flags_per_second",
             "Broadcast flags computed per second (scrape-to-scrape window)",
         ).set(flags_rate)
+        latency_help = {
+            "queue_wait_ms": "Ingress-to-drain queue wait (HDR, ms)",
+            "drain_batch_ms": "Wall cost per non-empty drain batch (HDR, ms)",
+            "ack_latency_ms": "Receive-to-ACK-emission latency (HDR, ms)",
+        }
+        for name, histogram in self.merged_latency().items():
+            text = latency_help[name]
+            registry.counter(f"service_{name}_count_total", text).set_total(
+                histogram.count
+            )
+            if histogram.count == 0:
+                continue
+            for label, q in QUANTILE_LABELS:
+                registry.gauge(
+                    f"service_{name}", text, {"quantile": label}
+                ).set(histogram.quantile(q))
+            registry.gauge(
+                f"service_{name}", text, {"quantile": "max"}
+            ).set(histogram.max)
 
     def health(self) -> Dict[str, object]:
         totals = self.totals()

@@ -20,17 +20,27 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.ap.port_table import ClientUdpPortTable, ExpiredEntry
 from repro.errors import FrameDecodeError, PortTableError
+from repro.obs.hdr import HdrHistogram
 from repro.service import wire
 from repro.service.ttl_wheel import TtlWheel
 
-#: (raw datagram, sender address) as queued by the ingest callback.
-Ingress = Tuple[bytes, Tuple[str, int]]
+#: (raw datagram, sender address, receive timestamp) as queued by the
+#: ingest callback. The timestamp is the service clock at recvfrom
+#: (``None`` for callers that don't track one, e.g. benchmarks).
+Ingress = Tuple[bytes, Tuple[str, int], Optional[float]]
 #: ``send(payload, addr)`` — the server binds this to the UDP transport.
 AckSink = Callable[[bytes, Tuple[str, int]], None]
+
+
+def _latency_histogram() -> HdrHistogram:
+    # Milliseconds, 1 µs resolution floor up to a minute — anything
+    # above that is a stall the exact max still captures.
+    return HdrHistogram(min_value=1e-3, max_value=6e4, sub_count=32)
 
 
 @dataclass
@@ -72,18 +82,35 @@ class PortShard:
         self.tables: Dict[int, ClientUdpPortTable] = {}
         self.wheel = TtlWheel(granularity_s=wheel_granularity_s, start=start)
         self.queue: Deque[Ingress] = deque()
+        #: Ingress latency distributions (milliseconds; see the ledger
+        #: PR): time queued before the worker drained a datagram, wall
+        #: cost of each non-empty drain batch, and receive-to-ACK-
+        #: emission latency for ack-worthy messages.
+        self.queue_wait_ms = _latency_histogram()
+        self.drain_batch_ms = _latency_histogram()
+        self.ack_latency_ms = _latency_histogram()
         #: (bss, aid) -> MAC that owns the AID; a report for a bound
         #: AID from a different MAC is rejected, not silently stolen.
         self._mac_by_client: Dict[Tuple[int, int], bytes] = {}
 
     # -- ingest (runs on the loop thread, must stay cheap) -------------
 
-    def offer(self, data: bytes, addr: Tuple[str, int]) -> None:
-        """Queue one raw datagram, dropping the oldest when full."""
+    def offer(
+        self,
+        data: bytes,
+        addr: Tuple[str, int],
+        at: Optional[float] = None,
+    ) -> None:
+        """Queue one raw datagram, dropping the oldest when full.
+
+        ``at`` is the service-clock receive time (the server stamps one
+        per recvfrom batch); latency histograms are skipped when it is
+        omitted, so timestamp-less callers pay nothing extra.
+        """
         if len(self.queue) >= self.queue_capacity:
             self.queue.popleft()
             self.counters.drops += 1
-        self.queue.append((data, addr))
+        self.queue.append((data, addr, at))
 
     @property
     def depth(self) -> int:
@@ -99,24 +126,40 @@ class PortShard:
         client in the batch is confirmed.
         """
         processed = 0
-        pending_acks: Dict[Tuple[int, int], Tuple[bytes, Tuple[str, int]]] = {}
+        pending_acks: Dict[
+            Tuple[int, int], Tuple[bytes, Tuple[str, int], Optional[float]]
+        ] = {}
         popleft = self.queue.popleft
+        queue_wait = self.queue_wait_ms.record
+        batch_start = perf_counter()
         while self.queue:
-            data, addr = popleft()
+            data, addr, received_at = popleft()
             processed += 1
+            if received_at is not None:
+                queue_wait(max(0.0, (now - received_at) * 1e3))
             try:
                 message = wire.decode_message(data)
             except FrameDecodeError:
                 self.counters.garbage += 1
                 continue
             try:
-                self._apply(message, now, addr, pending_acks)
+                self._apply(message, now, addr, pending_acks, received_at)
             except Exception:
                 self.counters.errors += 1
         if ack_sink is not None:
-            for payload, addr in pending_acks.values():
+            for payload, addr, received_at in pending_acks.values():
                 ack_sink(payload, addr)
                 self.counters.acks_sent += 1
+                if received_at is not None:
+                    # Service time advanced by the drain's own wall
+                    # cost since ``now`` was stamped; fold it in so
+                    # the coalescing delay is visible in the tail.
+                    elapsed = perf_counter() - batch_start
+                    self.ack_latency_ms.record(
+                        max(0.0, (now - received_at + elapsed) * 1e3)
+                    )
+        if processed:
+            self.drain_batch_ms.record((perf_counter() - batch_start) * 1e3)
         return processed
 
     def _apply(
@@ -124,7 +167,10 @@ class PortShard:
         message: wire.Message,
         now: float,
         addr: Tuple[str, int],
-        pending_acks: Dict[Tuple[int, int], Tuple[bytes, Tuple[str, int]]],
+        pending_acks: Dict[
+            Tuple[int, int], Tuple[bytes, Tuple[str, int], Optional[float]]
+        ],
+        received_at: Optional[float] = None,
     ) -> None:
         if message.msg_type == wire.MSG_ACK:
             # Clients never ack the server; count it as garbage-adjacent
@@ -169,6 +215,7 @@ class PortShard:
                     message.bss, message.aid, message.mac, message.seq, status
                 ),
                 addr,
+                received_at,
             )
 
     def _table_for(self, bss: int) -> ClientUdpPortTable:
@@ -216,6 +263,14 @@ class PortShard:
     def pair_count(self) -> int:
         return sum(len(table) for table in self.tables.values())
 
+    def latency_histograms(self) -> Dict[str, HdrHistogram]:
+        """The shard's latency distributions, by exported series name."""
+        return {
+            "queue_wait_ms": self.queue_wait_ms,
+            "drain_batch_ms": self.drain_batch_ms,
+            "ack_latency_ms": self.ack_latency_ms,
+        }
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-friendly state for the final flush / health endpoint."""
         return {
@@ -226,4 +281,8 @@ class PortShard:
             "queue_depth": self.depth,
             "wheel_pending": len(self.wheel),
             "counters": dict(vars(self.counters)),
+            "latency": {
+                name: histogram.to_dict()
+                for name, histogram in self.latency_histograms().items()
+            },
         }

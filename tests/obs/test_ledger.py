@@ -1,0 +1,157 @@
+"""FrameLedger unit behavior: spans, conservation, schema, flatten."""
+
+import json
+
+from repro.dot11.data import DataFrame
+from repro.dot11.mac_address import MacAddress
+from repro.net.packet import build_broadcast_udp_packet
+from repro.obs.ledger import (
+    DECISION_CLASSES,
+    LEDGER_SCHEMA,
+    FrameLedger,
+    flatten_ledger_document,
+    render_ledger,
+)
+
+_BSSID = MacAddress.from_string("02:aa:00:00:00:01")
+_SRC = MacAddress.from_string("02:bb:00:00:00:99")
+
+
+def _frame(port=5353):
+    return DataFrame.broadcast_udp(
+        bssid=_BSSID,
+        source=_SRC,
+        ip_packet=build_broadcast_udp_packet(port, b"x" * 64),
+    )
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class _Table:
+    """Minimal port-table stand-in: one subscribed port."""
+
+    def __init__(self, subscribed=(5353,)):
+        self._subscribed = set(subscribed)
+
+    def has_subscribers(self, port):
+        return port in self._subscribed
+
+
+class _Transmission:
+    def __init__(self, frame):
+        self.frame = frame
+
+
+def test_spans_accrue_buffer_and_delivery_delay():
+    clock = _Clock()
+    ledger = FrameLedger(clock=clock)
+    frame = _frame(port=5353)
+    ledger.frame_enqueued()
+    clock.now = 0.1
+    ledger.frame_drained(frame, _Table())
+    clock.now = 0.103
+    ledger.on_delivery(_Transmission(frame), dropped=False)
+    assert ledger.frames_enqueued == 1
+    assert ledger.frames_flagged == 1
+    assert ledger.frames_delivered == 1
+    assert ledger.frames_outstanding == 0
+    assert ledger.buffer_delay_s.max == 0.1
+    assert ledger.delivery_delay_s["flagged"].count == 1
+    assert ledger.delivery_delay_s["flagged"].max == 0.103
+
+
+def test_unsubscribed_port_classifies_hidden():
+    ledger = FrameLedger(clock=_Clock())
+    frame = _frame(port=9999)
+    ledger.frame_enqueued()
+    ledger.frame_drained(frame, _Table(subscribed=(5353,)))
+    assert ledger.frames_hidden == 1
+    assert ledger.frames_flagged == 0
+
+
+def test_untracked_deliveries_are_ignored():
+    ledger = FrameLedger(clock=_Clock())
+    ledger.on_delivery(_Transmission(_frame()), dropped=False)
+    assert ledger.frames_delivered == 0
+    assert ledger.merged_delivery_delay().count == 0
+
+
+def test_conservation_with_drops_and_outstanding():
+    clock = _Clock()
+    ledger = FrameLedger(clock=clock)
+    frames = [_frame() for _ in range(4)]
+    for _ in frames:
+        ledger.frame_enqueued()
+    ledger.frame_buffer_dropped()  # a fifth frame refused at capacity
+    table = _Table()
+    for frame in frames[:3]:
+        ledger.frame_drained(frame, table)
+    ledger.on_delivery(_Transmission(frames[0]), dropped=False)
+    ledger.on_delivery(_Transmission(frames[1]), dropped=True)
+    # frames[2] still on the air, frames[3] still buffered.
+    immediate = _frame()
+    ledger.frame_immediate(immediate)
+    ledger.on_delivery(_Transmission(immediate), dropped=False)
+    assert ledger.frames_outstanding == 2
+    assert ledger.frames_buffer_dropped == 1
+    assert (
+        ledger.frames_enqueued + ledger.frames_immediate
+        == ledger.frames_delivered
+        + ledger.frames_dropped_on_air
+        + ledger.frames_outstanding
+    )
+    counts = ledger.to_document()["counts"]
+    assert counts["frames_dropped_on_air"] == 1
+    assert counts["frames_outstanding"] == 2
+
+
+def test_document_schema_and_flatten():
+    clock = _Clock()
+    ledger = FrameLedger(clock=clock)
+    frame = _frame()
+    ledger.frame_enqueued()
+    clock.now = 0.05
+    ledger.frame_drained(frame, _Table())
+    clock.now = 0.051
+    ledger.on_delivery(_Transmission(frame), dropped=False)
+    document = ledger.to_document()
+    assert document["schema"] == LEDGER_SCHEMA
+    for decision in DECISION_CLASSES:
+        assert f"delivery_delay_{decision}_s" in document["histograms"]
+    json.dumps(document)  # must be JSON-serializable as-is
+
+    flat = flatten_ledger_document(document)
+    assert flat["ledger_frames_enqueued"] == 1.0
+    assert flat["ledger_buffer_delay_s_count"] == 1.0
+    assert "ledger_delivery_delay_s_p99" in flat
+    assert any(key.startswith("ledger_buffer_delay_s_bucket{le=") for key in flat)
+    # Bucket series are cumulative: the last one equals the count.
+    buckets = [
+        value for key, value in sorted(flat.items())
+        if key.startswith("ledger_buffer_delay_s_bucket")
+    ]
+    assert buckets[-1] == flat["ledger_buffer_delay_s_count"]
+
+    rendered = render_ledger(document)
+    assert "frame ledger" in rendered
+    assert "buffer delay (s)" in rendered
+
+
+def test_detached_is_the_default_on_ap_and_result(tmp_path):
+    from repro.experiments.des_run import DesRunConfig, run_trace_des
+    from repro.traces import generate_trace, scenario_by_name
+
+    trace = generate_trace(scenario_by_name("Starbucks"))
+    result = run_trace_des(
+        trace, DesRunConfig(client_count=2, duration_s=2.0)
+    )
+    result.close()
+    assert result.access_point.ledger is None
+    assert result.ledger is None
+    assert result.ledger_document() is None

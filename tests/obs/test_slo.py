@@ -1,0 +1,206 @@
+"""SLO specs: bound expressions, evaluation verdicts, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    _eval_bound,
+    evaluate_slo,
+    load_slo_spec,
+    render_slo,
+)
+
+
+def _spec(objectives, variables=None, name="test"):
+    return {
+        "schema": SLO_SCHEMA,
+        "name": name,
+        "vars": variables or {},
+        "objectives": objectives,
+    }
+
+
+class TestBoundExpressions:
+    def test_literal_numbers_pass_through(self):
+        assert _eval_bound(3, {}) == 3.0
+        assert _eval_bound(0.25, {}) == 0.25
+
+    def test_arithmetic_over_vars(self):
+        variables = {"dtim": 0.1024, "n": 4.0}
+        assert _eval_bound("3*dtim", variables) == pytest.approx(0.3072)
+        assert _eval_bound("(n + 1) * dtim / 2", variables) == pytest.approx(
+            2.5 * 0.1024
+        )
+
+    def test_scientific_notation_is_a_number_not_a_var(self):
+        assert _eval_bound("1e-3 * 5", {}) == pytest.approx(5e-3)
+        assert _eval_bound("2.5E2", {}) == 250.0
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _eval_bound("3*dtim", {})
+
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "__import__('os')",
+            "dtim ** 2",
+            "x[0]",
+            "f(1)",  # call parens are allowed tokens but f is unknown
+            "1; 2",
+            "",
+            "1 +",
+        ],
+    )
+    def test_non_arithmetic_rejected(self, expression):
+        with pytest.raises(ConfigurationError):
+            _eval_bound(expression, {"dtim": 0.1})
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _eval_bound("1/0", {})
+
+    def test_bool_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _eval_bound(True, {})
+
+
+class TestEvaluation:
+    def test_max_and_min_objectives(self):
+        spec = _spec(
+            [
+                {"name": "p99", "key": "delay_p99", "max": "2*dtim"},
+                {"name": "delivered", "key": "delivered", "min": 10},
+            ],
+            variables={"dtim": 0.1},
+        )
+        report = evaluate_slo(spec, {"delay_p99": 0.15, "delivered": 50.0})
+        assert report.ok()
+        assert [r.ok for r in report.results] == [True, True]
+
+    def test_burn_on_exceeded_max(self):
+        spec = _spec([{"key": "delay_p99", "max": 0.1}])
+        report = evaluate_slo(spec, {"delay_p99": 0.2})
+        assert not report.ok()
+        assert report.burns[0].note.startswith("burned")
+
+    def test_missing_metric_burns(self):
+        spec = _spec([{"key": "nope", "max": 1}])
+        report = evaluate_slo(spec, {})
+        assert not report.ok()
+        assert report.burns[0].value is None
+        assert "missing" in report.burns[0].note
+
+    def test_non_numeric_metric_burns(self):
+        spec = _spec([{"key": "deterministic_fingerprint", "max": 1}])
+        report = evaluate_slo(spec, {"deterministic_fingerprint": "abc123"})
+        assert not report.ok()
+
+    def test_render_mentions_every_objective(self):
+        spec = _spec(
+            [
+                {"name": "good", "key": "a", "max": 10},
+                {"name": "bad", "key": "b", "max": 1},
+            ]
+        )
+        text = render_slo(evaluate_slo(spec, {"a": 5.0, "b": 5.0}))
+        assert "good" in text and "bad" in text
+        assert "BURN" in text
+        assert "burned" in text
+
+
+class TestSpecLoading:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_valid_spec_loads(self, tmp_path):
+        path = self._write(
+            tmp_path, _spec([{"key": "x", "max": 1}], {"dtim": 0.1})
+        )
+        spec = load_slo_spec(path)
+        assert spec["name"] == "test"
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = self._write(tmp_path, {"schema": "nope", "objectives": []})
+        with pytest.raises(ConfigurationError):
+            load_slo_spec(path)
+
+    def test_empty_objectives_rejected(self, tmp_path):
+        path = self._write(tmp_path, _spec([]))
+        with pytest.raises(ConfigurationError):
+            load_slo_spec(path)
+
+    def test_objective_needs_exactly_one_bound(self, tmp_path):
+        for bad in (
+            {"key": "x"},
+            {"key": "x", "max": 1, "min": 0},
+            {"max": 1},
+        ):
+            path = self._write(tmp_path, _spec([bad]))
+            with pytest.raises(ConfigurationError):
+                load_slo_spec(path)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_slo_spec(str(tmp_path / "missing.json"))
+
+
+class TestCliGate:
+    """The ``repro obs slo`` command is the CI gate: exit codes matter."""
+
+    def _artifact(self, tmp_path, metrics):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(metrics))
+        return str(path)
+
+    def test_passing_spec_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(_spec([{"key": "delay_p99", "max": 1.0}]))
+        )
+        artifact = self._artifact(tmp_path, {"delay_p99": 0.5})
+        assert main(["obs", "slo", "--spec", str(spec_path), artifact]) == 0
+        assert "all objectives met" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(_spec([{"key": "delay_p99", "max": 1.0}]))
+        )
+        artifact = self._artifact(tmp_path, {"delay_p99": 5.0})
+        assert main(["obs", "slo", "--spec", str(spec_path), artifact]) == 1
+        assert "burned" in capsys.readouterr().out
+
+    def test_bad_spec_exits_two(self, tmp_path):
+        from repro.cli import main
+
+        artifact = self._artifact(tmp_path, {"delay_p99": 0.5})
+        assert (
+            main(["obs", "slo", "--spec", str(tmp_path / "nope.json"), artifact])
+            == 2
+        )
+
+    def test_later_artifacts_win_on_duplicate_keys(self, tmp_path):
+        from repro.cli import main
+
+        spec_path = tmp_path / "slo.json"
+        spec_path.write_text(
+            json.dumps(_spec([{"key": "delay_p99", "max": 1.0}]))
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"delay_p99": 9.0}))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"delay_p99": 0.5}))
+        assert (
+            main(["obs", "slo", "--spec", str(spec_path), str(bad), str(good)])
+            == 0
+        )
